@@ -1,0 +1,104 @@
+// Baseline B1: parallel tempering + multi-histogram reweighting vs the
+// DeepThermo flat-histogram pipeline.
+//
+// The conventional route to alloy thermodynamics: canonical replicas on
+// a temperature ladder, histograms combined by WHAM into a DOS. Both
+// pipelines run on the same system; the table compares the DOS they
+// produce bin by bin (where both have data) and the derived transition
+// temperature. PT covers only the canonically-likely energies of its
+// ladder; WL covers the whole grid -- the coverage column shows exactly
+// the gap the paper's method closes.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/math.hpp"
+#include "mc/parallel_tempering.hpp"
+#include "mc/reweighting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  const Config cfg = bench::parse_args(argc, argv);
+  auto opts = bench::bench_options(cfg);
+  bench::print_run_header("B1: PT+WHAM baseline vs DeepThermo", opts);
+
+  // ---- DeepThermo pipeline ----
+  auto fw = core::Framework::nbmotaw(opts);
+  Stopwatch wl_clock;
+  const auto deep = fw.run();
+  const double wl_seconds = wl_clock.seconds();
+
+  // ---- PT + WHAM baseline on the same grid ----
+  const auto n_temps = static_cast<int>(cfg.get_int("pt_temps", 10));
+  const double t_lo = cfg.get_double("pt_t_lo", 0.02);
+  const double t_hi = cfg.get_double("pt_t_hi", 0.6);
+  const auto pt_sweeps = cfg.get_int("pt_sweeps", 4000);
+
+  mc::ParallelTemperingOptions pt_opts;
+  pt_opts.temperatures = mc::geometric_ladder(t_lo, t_hi, n_temps);
+  pt_opts.exchange_interval = 10;
+  pt_opts.seed = opts.seed;
+  mc::ParallelTempering pt(fw.hamiltonian(), fw.lattice_ref(), 4, pt_opts);
+
+  Stopwatch pt_clock;
+  std::vector<mc::Histogram> histograms(
+      static_cast<std::size_t>(n_temps), mc::Histogram(fw.grid()));
+  pt.run(pt_sweeps / 10);  // burn-in
+  pt.run(pt_sweeps, [&](int replica, mc::MetropolisSampler& sampler) {
+    const auto bin = fw.grid().bin(sampler.energy());
+    if (bin >= 0)
+      histograms[static_cast<std::size_t>(replica)].record(bin);
+  });
+  // The coldest replicas can reach below the quenched grid edge; their
+  // (empty or tiny) histograms carry no usable counts -- drop them.
+  std::vector<mc::Histogram> usable;
+  std::vector<double> usable_temps;
+  for (std::size_t k = 0; k < histograms.size(); ++k) {
+    if (histograms[k].total() < 100) continue;
+    usable.push_back(histograms[k]);
+    usable_temps.push_back(pt_opts.temperatures[k]);
+  }
+  auto wham_result = mc::wham(fw.grid(), usable, usable_temps);
+  const double pt_seconds = pt_clock.seconds();
+  wham_result.dos.normalize(fw.log_total_states());
+
+  // ---- compare ----
+  int common = 0;
+  dt::RunningStats abs_diff;
+  for (std::int32_t b = 0; b < fw.grid().n_bins(); ++b) {
+    if (!deep.dos.visited(b) || !wham_result.dos.visited(b)) continue;
+    abs_diff.add(std::abs(deep.dos.log_g(b) - wham_result.dos.log_g(b)));
+    ++common;
+  }
+
+  const auto scan_range = [](const mc::DensityOfStates& dos) {
+    return mc::transition_temperature(
+        mc::thermo_scan(dos, dt::linspace(0.02, 0.4, 48)));
+  };
+
+  Table table({"pipeline", "dos_bins", "wall_s", "Tc_eV", "converged"});
+  table.add("DeepThermo (REWL+VAE)", deep.dos.num_visited(), wl_seconds,
+            scan_range(deep.dos), deep.rewl.converged ? "yes" : "no");
+  table.add("PT+WHAM baseline", wham_result.dos.num_visited(), pt_seconds,
+            scan_range(wham_result.dos),
+            wham_result.converged ? "yes" : "no");
+  bench::emit(table, cfg, "Baseline B1: pipeline comparison", "pipelines");
+
+  Table agree({"quantity", "value"});
+  agree.add("commonly visited bins", common);
+  agree.add("mean |Delta ln g| on common bins", abs_diff.mean());
+  agree.add("max |Delta ln g| on common bins", abs_diff.max());
+  agree.add("PT exchange acceptance (ladder mean)", [&] {
+    double acc = 0;
+    for (int i = 0; i + 1 < pt.n_replicas(); ++i)
+      acc += pt.pair_stats(i).acceptance_rate();
+    return acc / (pt.n_replicas() - 1);
+  }());
+  agree.add("PT ladder round trips", pt.round_trips());
+  bench::emit(agree, cfg, "Baseline B1: DOS agreement", "agreement");
+
+  std::cout << "expected shape: the two DOS estimates agree on commonly\n"
+               "visited bins; PT misses the tails outside its ladder's\n"
+               "canonical support, which REWL covers uniformly.\n";
+  return 0;
+}

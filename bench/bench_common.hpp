@@ -1,0 +1,85 @@
+// Shared plumbing for the figure/table bench harnesses.
+//
+// Every bench binary reproduces one table or figure of the DeepThermo
+// evaluation (see DESIGN.md's experiment index): it builds a system from
+// a common set of --flags, runs the experiment, and prints paper-style
+// rows through dt::Table (optionally also to CSV via --csv=<path>).
+//
+// Defaults are sized so the full set finishes in minutes on a laptop;
+// pass --cells=6 (or more) to approach paper-scale systems.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/deepthermo.hpp"
+
+namespace dt::bench {
+
+/// Parse the common command line: --cells, --bins, --seed, --csv, plus
+/// whatever bench-specific keys the caller reads from the result.
+inline Config parse_args(int argc, char** argv) {
+  Config cfg;
+  cfg.update_from_args(argc, argv);
+  return cfg;
+}
+
+/// Emit a table to stdout and, when --csv=<path> was given, to that file
+/// (suffix inserted before .csv when a bench emits several tables).
+inline void emit(const Table& table, const Config& cfg,
+                 const std::string& title, const std::string& csv_tag = "") {
+  table.print(std::cout, title);
+  std::cout << '\n';
+  const std::string base = cfg.get_string("csv", "");
+  if (base.empty()) return;
+  std::string path = base;
+  if (!csv_tag.empty()) {
+    const auto dot = path.rfind(".csv");
+    if (dot != std::string::npos)
+      path.insert(dot, "_" + csv_tag);
+    else
+      path += "_" + csv_tag + ".csv";
+  }
+  table.write_csv_file(path);
+}
+
+/// DeepThermo options for the common bench system: a --cells^3 BCC
+/// supercell of the quaternary NbMoTaW model.
+inline core::DeepThermoOptions bench_options(const Config& cfg) {
+  core::DeepThermoOptions opts;
+  const auto cells = static_cast<int>(cfg.get_int("cells", 3));
+  opts.lattice.nx = opts.lattice.ny = opts.lattice.nz = cells;
+  opts.n_bins = static_cast<std::int32_t>(cfg.get_int("bins", 80));
+  opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 2023));
+  opts.rewl.seed = opts.seed;
+  opts.rewl.n_windows = static_cast<int>(cfg.get_int("windows", 2));
+  opts.rewl.walkers_per_window =
+      static_cast<int>(cfg.get_int("walkers", 1));
+  opts.rewl.max_sweeps = cfg.get_int("max_sweeps", 150000);
+  opts.rewl.wl.log_f_final = cfg.get_double("log_f_final", 1e-3);
+  opts.rewl.exchange_interval = cfg.get_int("exchange_interval", 50);
+  opts.global_fraction = cfg.get_double("global_fraction", 0.05);
+  opts.vae.hidden = cfg.get_int("hidden", 64);
+  opts.vae.latent = cfg.get_int("latent", 8);
+  opts.vae.epochs = static_cast<int>(cfg.get_int("epochs", 12));
+  opts.pretrain.n_temperatures =
+      static_cast<int>(cfg.get_int("pretrain_temps", 5));
+  opts.pretrain.samples_per_temperature =
+      static_cast<int>(cfg.get_int("pretrain_samples", 32));
+  return opts;
+}
+
+inline void print_run_header(const std::string& experiment,
+                             const core::DeepThermoOptions& opts) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "system: NbMoTaW-model BCC " << opts.lattice.nx << "x"
+            << opts.lattice.ny << "x" << opts.lattice.nz << " ("
+            << 2 * opts.lattice.nx * opts.lattice.ny * opts.lattice.nz
+            << " atoms), " << opts.n_bins << " bins, seed " << opts.seed
+            << "\n\n";
+}
+
+}  // namespace dt::bench

@@ -1,0 +1,157 @@
+// Micro-benchmarks of DeepThermo's hot kernels (google-benchmark).
+//
+// These are the per-operation costs the cluster cost model abstracts:
+// swap Delta-E, full energy evaluation, a Wang-Landau sweep, VAE decode,
+// VAE training step and minicomm collectives.
+#include <benchmark/benchmark.h>
+
+#include "core/deepthermo.hpp"
+#include "nn/trainer.hpp"
+#include "par/minicomm.hpp"
+
+namespace {
+
+using namespace dt;
+
+struct System {
+  lattice::Lattice lat;
+  lattice::EpiHamiltonian ham;
+
+  explicit System(int cells)
+      : lat(lattice::Lattice::create(lattice::LatticeType::kBCC, cells,
+                                     cells, cells, 2)),
+        ham(lattice::epi_nbmotaw()) {}
+};
+
+void BM_SwapDelta(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  mc::Rng rng(1, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  const auto n = static_cast<std::uint64_t>(sys.lat.num_sites());
+  for (auto _ : state) {
+    const auto a = static_cast<std::int32_t>(uniform_index(rng, n));
+    const auto b = static_cast<std::int32_t>(uniform_index(rng, n));
+    benchmark::DoNotOptimize(sys.ham.swap_delta(cfg, a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwapDelta)->Arg(4)->Arg(8);
+
+void BM_TotalEnergy(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  mc::Rng rng(2, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sys.ham.total_energy(cfg));
+  state.SetItemsProcessed(state.iterations() * sys.lat.num_sites());
+}
+BENCHMARK(BM_TotalEnergy)->Arg(4)->Arg(8);
+
+void BM_WangLandauSweep(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  mc::Rng rng(3, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  const auto [lo, hi] =
+      mc::estimate_energy_range(sys.ham, cfg, 20, 0.02, mc::Rng(3, 1));
+  const mc::EnergyGrid grid(lo, hi, 100);
+  mc::WangLandauSampler wl(sys.ham, cfg, grid, mc::WangLandauOptions{},
+                           mc::Rng(3, 2));
+  mc::LocalSwapProposal kernel(sys.ham);
+  for (auto _ : state) wl.sweep(kernel);
+  state.SetItemsProcessed(state.iterations() * sys.lat.num_sites());
+}
+BENCHMARK(BM_WangLandauSweep)->Arg(4)->Arg(8);
+
+void BM_MetropolisSweep(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  mc::Rng rng(4, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  mc::MetropolisSampler sampler(sys.ham, cfg, 0.1, mc::Rng(4, 1));
+  mc::LocalSwapProposal kernel(sys.ham);
+  for (auto _ : state) sampler.sweep(kernel);
+  state.SetItemsProcessed(state.iterations() * sys.lat.num_sites());
+}
+BENCHMARK(BM_MetropolisSweep)->Arg(4)->Arg(8);
+
+std::shared_ptr<nn::Vae> bench_vae(const System& sys, std::int64_t hidden,
+                                   std::int64_t latent) {
+  nn::VaeOptions o;
+  o.n_sites = sys.lat.num_sites();
+  o.n_species = 4;
+  o.hidden = hidden;
+  o.latent = latent;
+  return std::make_shared<nn::Vae>(o, 5);
+}
+
+void BM_VaeDecode(benchmark::State& state) {
+  System sys(4);
+  auto vae = bench_vae(sys, state.range(0), 16);
+  std::vector<float> z(16, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(vae->decode_probs(z));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VaeDecode)->Arg(64)->Arg(256);
+
+void BM_VaeGlobalProposal(benchmark::State& state) {
+  System sys(4);
+  auto vae = bench_vae(sys, 64, 16);
+  core::VaeProposal kernel(sys.ham, vae);
+  mc::Rng rng(6, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  double e = sys.ham.total_energy(cfg);
+  for (auto _ : state) {
+    const auto r = kernel.propose(cfg, e, rng);
+    e += r.delta_energy;
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VaeGlobalProposal);
+
+void BM_VaeTrainStep(benchmark::State& state) {
+  System sys(4);
+  auto vae = bench_vae(sys, 64, 16);
+  nn::TrainOptions to;
+  to.batch_size = static_cast<std::int32_t>(state.range(0));
+  nn::Trainer trainer(*vae, to);
+  mc::Rng rng(7, 0);
+  std::vector<std::uint8_t> batch;
+  for (int b = 0; b < to.batch_size; ++b) {
+    auto sample = lattice::random_configuration(sys.lat, 4, rng);
+    batch.insert(batch.end(), sample.occupancy().begin(),
+                 sample.occupancy().end());
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trainer.train_batch(batch, to.batch_size));
+  state.SetItemsProcessed(state.iterations() * to.batch_size);
+}
+BENCHMARK(BM_VaeTrainStep)->Arg(8)->Arg(32);
+
+void BM_MinicommAllreduce(benchmark::State& state) {
+  const auto ranks = static_cast<int>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    par::run_ranks(ranks, [&](par::Communicator& comm) {
+      std::vector<float> data(elems, static_cast<float>(comm.rank()));
+      comm.allreduce_sum(std::span<float>(data.data(), data.size()));
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_MinicommAllreduce)->Args({2, 1024})->Args({4, 65536});
+
+void BM_MinicommBarrier(benchmark::State& state) {
+  const auto ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    par::run_ranks(ranks, [](par::Communicator& comm) {
+      for (int i = 0; i < 100; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MinicommBarrier)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

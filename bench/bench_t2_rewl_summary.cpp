@@ -1,0 +1,51 @@
+// Experiment T2: REWL run configuration and per-window statistics.
+//
+// The evaluation-setup table every REWL paper reports: window bin ranges,
+// walkers, ln f stages completed, in-window acceptance, replica-exchange
+// acceptance per window boundary and round trips.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  const Config cfg = bench::parse_args(argc, argv);
+  auto opts = bench::bench_options(cfg);
+  opts.rewl.n_windows = static_cast<int>(cfg.get_int("windows", 3));
+  opts.rewl.walkers_per_window =
+      static_cast<int>(cfg.get_int("walkers", 2));
+  bench::print_run_header("T2: REWL configuration summary", opts);
+
+  auto fw = core::Framework::nbmotaw(opts);
+  const auto result = fw.run();
+
+  Table setup({"parameter", "value"});
+  setup.add("energy range [eV]",
+            Table::format_cell(result.grid.e_min()) + " .. " +
+                Table::format_cell(result.grid.e_max()));
+  setup.add("bins", result.grid.n_bins());
+  setup.add("windows", opts.rewl.n_windows);
+  setup.add("walkers per window", opts.rewl.walkers_per_window);
+  setup.add("window overlap", opts.rewl.overlap);
+  setup.add("exchange interval [sweeps]", opts.rewl.exchange_interval);
+  setup.add("flatness threshold", opts.rewl.wl.flatness);
+  setup.add("final ln f", opts.rewl.wl.log_f_final);
+  setup.add("VAE share of moves", opts.global_fraction);
+  setup.add("converged", result.rewl.converged ? "yes" : "no");
+  setup.add("wall seconds", result.rewl.wall_seconds);
+  bench::emit(setup, cfg, "Table T2a: run configuration", "setup");
+
+  Table windows({"window", "bins", "sweeps", "f_stages", "acceptance",
+                 "exch_acc_up", "round_trips", "converged"});
+  for (const auto& w : result.rewl.windows) {
+    windows.add(w.window,
+                Table::format_cell(static_cast<std::int64_t>(w.lo_bin)) +
+                    ".." +
+                    Table::format_cell(static_cast<std::int64_t>(w.hi_bin)),
+                w.sweeps, w.f_stages, w.acceptance, w.exchange_acceptance,
+                static_cast<std::int64_t>(w.round_trips),
+                w.converged ? "yes" : "no");
+  }
+  bench::emit(windows, cfg, "Table T2b: per-window statistics", "windows");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Minimal configuration store used by examples and benches.
+//
+// Values are stored as strings and converted on access; sources are
+// key=value text (files or inline) and --key=value / --flag command lines.
+// Later sources override earlier ones, so a typical driver does:
+//
+//   Config cfg = Config::defaults(...);
+//   cfg.update_from_args(argc, argv);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dt {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Config from_text(const std::string& text);
+
+  /// Merge --key=value and bare --flag (stored as "true") arguments.
+  /// Non-option arguments are collected and retrievable via positional().
+  void update_from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, std::string value);
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// All key=value pairs, sorted by key (for logging run parameters).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dt

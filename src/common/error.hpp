@@ -1,0 +1,51 @@
+// Error handling primitives shared by every DeepThermo module.
+//
+// Library code throws dt::Error (a std::runtime_error) on contract
+// violations; the DT_CHECK/DT_REQUIRE macros capture the failing expression
+// and source location so failures surface with context even in Release
+// builds (they are never compiled out -- Monte Carlo bookkeeping bugs are
+// silent otherwise).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dt {
+
+/// Exception type thrown on any DeepThermo contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DT_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dt
+
+/// Always-on invariant check; throws dt::Error with location info.
+#define DT_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::dt::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Always-on invariant check with a streamed message:
+///   DT_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define DT_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream dt_check_os_;                                     \
+      dt_check_os_ << msg; /* NOLINT */                                    \
+      ::dt::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                        dt_check_os_.str());               \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,44 @@
+// Leveled logging to stderr. Thread-safe (one mutex-guarded write per
+// message); cheap enough for progress reporting but not for per-sweep use.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line "[level] message" to stderr if level >= threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dt
+
+#define DT_LOG_DEBUG ::dt::detail::LogLine(::dt::LogLevel::kDebug)
+#define DT_LOG_INFO ::dt::detail::LogLine(::dt::LogLevel::kInfo)
+#define DT_LOG_WARN ::dt::detail::LogLine(::dt::LogLevel::kWarn)
+#define DT_LOG_ERROR ::dt::detail::LogLine(::dt::LogLevel::kError)

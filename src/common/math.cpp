@@ -1,0 +1,110 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dt {
+
+double log_add(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  double acc = -std::numeric_limits<double>::infinity();
+  if (xs.empty()) return acc;
+  const double hi = *std::max_element(xs.begin(), xs.end());
+  if (hi == -std::numeric_limits<double>::infinity()) return hi;
+  KahanSum sum;
+  for (double x : xs) sum.add(std::exp(x - hi));
+  return hi + std::log(sum.value());
+}
+
+void KahanSum::add(double x) {
+  const double y = x - comp_;
+  const double t = sum_ + y;
+  comp_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderror() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  DT_CHECK(n >= 1);
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+double log_factorial(std::size_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_multinomial(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  double result = log_factorial(total);
+  for (std::size_t c : counts) result -= log_factorial(c);
+  return result;
+}
+
+double integrated_autocorrelation_time(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 8) return 1.0;
+
+  RunningStats stats;
+  for (double x : series) stats.add(x);
+  const double mean = stats.mean();
+  const double var = stats.variance();
+  if (var <= 0.0) return 1.0;
+
+  // Sokal's adaptive window: sum rho(t) while window < c * tau, c = 6.
+  constexpr double kWindowFactor = 6.0;
+  double tau = 1.0;
+  for (std::size_t t = 1; t < n / 2; ++t) {
+    KahanSum cov;
+    for (std::size_t i = 0; i + t < n; ++i)
+      cov.add((series[i] - mean) * (series[i + t] - mean));
+    const double rho =
+        cov.value() / (static_cast<double>(n - t) * var);
+    if (rho <= 0.0 && t > 4) break;  // noise floor
+    tau += 2.0 * rho;
+    if (static_cast<double>(t) >= kWindowFactor * tau) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+}  // namespace dt

@@ -1,0 +1,64 @@
+// Numerics shared across DeepThermo: log-domain arithmetic (the density of
+// states spans e^10,000, so everything thermodynamic lives in log space),
+// compensated summation, and small statistics helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dt {
+
+/// log(exp(a) + exp(b)) without overflow; tolerates -inf arguments.
+double log_add(double a, double b);
+
+/// log(sum_i exp(x_i)) over a span; returns -inf for an empty span.
+double log_sum_exp(std::span<const double> xs);
+
+/// Kahan-compensated running sum.
+class KahanSum {
+ public:
+  void add(double x);
+  [[nodiscard]] double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Streaming mean/variance (Welford). Variance is the unbiased sample
+/// variance; undefined (returns 0) for fewer than two samples.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double stderror() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// n evenly spaced values over [lo, hi] inclusive (n >= 2), or {lo} for n==1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// ln(n!) via lgamma.
+double log_factorial(std::size_t n);
+
+/// ln of the multinomial coefficient N! / prod_i counts[i]!.
+double log_multinomial(std::span<const std::size_t> counts);
+
+/// Integrated autocorrelation time of a scalar series using the
+/// Sokal adaptive-window estimator. Returns >= 1; returns 1 for series
+/// shorter than 8 samples.
+double integrated_autocorrelation_time(std::span<const double> series);
+
+}  // namespace dt

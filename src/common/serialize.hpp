@@ -1,0 +1,58 @@
+// Tiny binary serialization helpers for checkpoint files.
+//
+// Fixed little-endian-as-host POD writes with size-prefixed vectors; the
+// checkpoint format is an internal detail (same-build restore), not an
+// interchange format, so no cross-endianness translation is attempted.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dt {
+
+template <class T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  DT_CHECK_MSG(os.good(), "serialize: write failed");
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DT_CHECK_MSG(is.good(), "serialize: truncated stream");
+  return value;
+}
+
+template <class T>
+void write_vector(std::ostream& os, const std::vector<T>& data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(os, data.size());
+  if (!data.empty()) {
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(T)));
+    DT_CHECK_MSG(os.good(), "serialize: write failed");
+  }
+}
+
+template <class T>
+std::vector<T> read_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> data(n);
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    DT_CHECK_MSG(is.good(), "serialize: truncated stream");
+  }
+  return data;
+}
+
+}  // namespace dt

@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dt {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  DT_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DT_CHECK_MSG(cells.size() == columns_.size(),
+               "row has " << cells.size() << " cells, table has "
+                          << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  if (!title.empty()) os << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+      os << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  os << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << csv_escape(cells[c]);
+      if (c + 1 != cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  DT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_csv(out);
+}
+
+}  // namespace dt

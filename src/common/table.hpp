@@ -1,0 +1,57 @@
+// Plain-text table / CSV emitter for bench harnesses.
+//
+// Every bench prints its rows through Table so the paper-style output
+// ("Figure 5: series ...") is formatted uniformly and can additionally be
+// written as CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Append a row; must have exactly as many cells as columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with %g-like precision.
+  template <class... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(float v) {
+    return format_cell(static_cast<double>(v));
+  }
+  template <class T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dt

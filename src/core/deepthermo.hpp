@@ -1,0 +1,20 @@
+// Umbrella header: the DeepThermo public API.
+//
+//   #include "core/deepthermo.hpp"
+//
+// pulls in the framework (core::Framework / core::DeepThermoOptions), the
+// sampling kernels, the alloy model types and the thermodynamics helpers.
+// Examples under examples/ show typical usage; start with quickstart.cpp.
+#pragma once
+
+#include "core/framework.hpp"       // pipeline: options -> DOS -> thermo
+#include "core/mixed_kernel.hpp"    // DeepThermoProposal (local + VAE mix)
+#include "core/vae_proposal.hpp"    // the DL global-update kernel
+#include "lattice/configuration.hpp"
+#include "lattice/hamiltonian.hpp"  // epi_nbmotaw(), epi_ising(), random_epi()
+#include "lattice/lattice.hpp"
+#include "lattice/sro.hpp"          // Warren-Cowley order parameters
+#include "mc/metropolis.hpp"
+#include "mc/thermo.hpp"            // evaluate_thermo / thermo_scan
+#include "mc/wang_landau.hpp"
+#include "par/rewl.hpp"             // run_rewl for custom drivers

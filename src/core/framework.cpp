@@ -1,0 +1,305 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/math.hpp"
+#include "common/stopwatch.hpp"
+#include "mc/metropolis.hpp"
+#include "mc/multicanonical.hpp"
+#include "par/ddp.hpp"
+#include "par/partition.hpp"
+
+namespace dt::core {
+
+namespace {
+
+mc::EnergyGrid build_grid(const lattice::EpiHamiltonian& hamiltonian,
+                          const lattice::Lattice& lat,
+                          const DeepThermoOptions& options) {
+  mc::Rng rng(options.seed, stream_id(0xE0, 0));
+  lattice::Configuration cfg =
+      lattice::random_configuration(lat, options.n_species, rng);
+  const auto [e_lo, e_hi] = mc::estimate_energy_range(
+      hamiltonian, cfg, options.quench_sweeps, options.range_pad,
+      mc::Rng(options.seed, stream_id(0xE0, 1)));
+  if (options.range_mode == EnergyRangeMode::kFullSpectrum)
+    return mc::EnergyGrid(e_lo, e_hi, options.n_bins);
+
+  // Thermal range: upper edge from the statistics of random (infinite-T)
+  // configurations instead of the up-quenched anti-ordered extreme.
+  RunningStats stats;
+  mc::Rng sample_rng(options.seed, stream_id(0xE0, 2));
+  for (int k = 0; k < 200; ++k) {
+    const auto sample =
+        lattice::random_configuration(lat, options.n_species, sample_rng);
+    stats.add(hamiltonian.total_energy(sample));
+  }
+  const double thermal_hi = stats.mean() + options.range_sigma * stats.stddev();
+  DT_CHECK_MSG(thermal_hi > e_lo, "degenerate thermal energy range");
+  return mc::EnergyGrid(e_lo, std::min(e_hi, thermal_hi), options.n_bins);
+}
+
+}  // namespace
+
+Framework::Framework(DeepThermoOptions options,
+                     lattice::EpiHamiltonian hamiltonian)
+    : options_(std::move(options)),
+      lattice_(lattice::Lattice::create(options_.lattice.type,
+                                        options_.lattice.nx,
+                                        options_.lattice.ny,
+                                        options_.lattice.nz,
+                                        options_.lattice.n_shells)),
+      hamiltonian_(std::move(hamiltonian)),
+      grid_(build_grid(hamiltonian_, lattice_, options_)) {
+  DT_CHECK_MSG(hamiltonian_.n_species() == options_.n_species,
+               "Hamiltonian species count does not match options");
+  DT_CHECK_MSG(hamiltonian_.n_shells() <= lattice_.num_shells(),
+               "Hamiltonian needs more shells than the lattice resolves");
+}
+
+Framework Framework::nbmotaw(DeepThermoOptions options) {
+  options.n_species = 4;
+  if (options.lattice.type != lattice::LatticeType::kBCC)
+    options.lattice.type = lattice::LatticeType::kBCC;
+  return Framework(std::move(options), lattice::epi_nbmotaw());
+}
+
+double Framework::log_total_states() const {
+  // Equiatomic largest-remainder composition, same as
+  // random_configuration's default pool.
+  const auto n = static_cast<std::size_t>(lattice_.num_sites());
+  const auto s = static_cast<std::size_t>(options_.n_species);
+  std::vector<std::size_t> counts(s, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts[i % s];
+  return log_multinomial(counts);
+}
+
+double Framework::normalized_energy(double energy) const {
+  const double frac =
+      (energy - grid_.e_min()) / (grid_.e_max() - grid_.e_min());
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+nn::TrainReport Framework::pretrain() {
+  const PretrainOptions& po = options_.pretrain;
+  DT_CHECK(po.n_temperatures >= 1);
+  DT_CHECK(po.t_hi >= po.t_lo && po.t_lo > 0.0);
+
+  const std::int32_t cond_dim = options_.condition_on_energy ? 1 : 0;
+  nn::VaeOptions vo;
+  vo.n_sites = lattice_.num_sites();
+  vo.n_species = options_.n_species;
+  vo.hidden = options_.vae.hidden;
+  vo.latent = options_.vae.latent;
+  vo.kl_weight = options_.vae.kl_weight;
+  vo.prob_floor = options_.vae.prob_floor;
+  vo.condition_dim = cond_dim;
+  vae_ = std::make_shared<nn::Vae>(vo, options_.seed);
+
+  // ---- data generation: annealing ladder, high T -> low T ----
+  nn::ConfigDataset dataset(lattice_.num_sites(),
+                            options_.vae.dataset_capacity, cond_dim);
+  Xoshiro256ss reservoir_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  mc::Rng init_rng(options_.seed, stream_id(0xAA, 0));
+  lattice::Configuration cfg =
+      lattice::random_configuration(lattice_, options_.n_species, init_rng);
+  mc::MetropolisSampler sampler(hamiltonian_, cfg, po.t_hi,
+                                mc::Rng(options_.seed, stream_id(0xAA, 1)));
+  mc::LocalSwapProposal kernel(hamiltonian_);
+
+  for (int t_idx = 0; t_idx < po.n_temperatures; ++t_idx) {
+    // Geometric ladder hits ordering scales more evenly than linear.
+    const double frac =
+        po.n_temperatures == 1
+            ? 0.0
+            : static_cast<double>(t_idx) /
+                  static_cast<double>(po.n_temperatures - 1);
+    const double t = po.t_hi * std::pow(po.t_lo / po.t_hi, frac);
+    sampler.set_temperature(t);
+    sampler.run(kernel, po.equilibration_sweeps);
+    for (int k = 0; k < po.samples_per_temperature; ++k) {
+      sampler.run(kernel, po.sweeps_between_samples);
+      if (cond_dim > 0) {
+        const float c = static_cast<float>(
+            normalized_energy(sampler.energy()));
+        dataset.add(sampler.configuration().occupancy(), reservoir_rng,
+                    std::span<const float>(&c, 1));
+      } else {
+        dataset.add(sampler.configuration().occupancy(), reservoir_rng);
+      }
+    }
+  }
+
+  // ---- fit ----
+  nn::TrainOptions to;
+  to.epochs = options_.vae.epochs;
+  to.batch_size = options_.vae.batch_size;
+  to.learning_rate = options_.vae.learning_rate;
+  to.seed = options_.seed ^ 0xD1B54A32D192ED03ULL;
+  nn::Trainer trainer(*vae_, to);
+  nn::TrainReport report = trainer.fit(dataset);
+
+  std::ostringstream weights;
+  vae_->save(weights);
+  pretrained_weights_ = weights.str();
+
+  DT_LOG_INFO << "pretrain: " << dataset.size() << " samples, final loss "
+              << (report.epoch_loss.empty() ? 0.0f
+                                            : report.epoch_loss.back());
+  return report;
+}
+
+DeepThermoResult Framework::run() {
+  DeepThermoResult result;
+  result.grid = grid_;
+
+  Stopwatch pretrain_clock;
+  if (options_.use_vae && !vae_) result.pretrain_report = pretrain();
+  result.pretrain_seconds = pretrain_clock.seconds();
+
+  const int n_ranks = options_.rewl.total_ranks();
+
+  // Per-rank sampling state, created on each rank's own thread by the
+  // factory and read back after run_rewl joins them.
+  struct RankState {
+    std::shared_ptr<nn::Vae> vae;
+    std::shared_ptr<DeepThermoProposal> kernel;
+    std::unique_ptr<nn::Trainer> trainer;
+    std::unique_ptr<nn::ConfigDataset> dataset;
+    Xoshiro256ss reservoir_rng{0};
+    std::int64_t rounds = 0;
+  };
+  std::vector<RankState> states(static_cast<std::size_t>(n_ranks));
+
+  par::ProposalFactory factory =
+      [&](int rank) -> std::shared_ptr<mc::Proposal> {
+    if (!options_.use_vae)
+      return std::make_shared<mc::LocalSwapProposal>(hamiltonian_);
+
+    RankState& st = states[static_cast<std::size_t>(rank)];
+    // Per-rank replica: identical construction seed, then the pretrained
+    // weights, so all replicas start in sync for data-parallel refreshes.
+    st.vae = std::make_shared<nn::Vae>(vae_->options(), options_.seed);
+    std::istringstream in(pretrained_weights_);
+    st.vae->load(in);
+
+    if (options_.retrain_every_rounds > 0) {
+      nn::TrainOptions to;
+      to.epochs = 1;
+      to.batch_size = options_.vae.batch_size;
+      to.learning_rate = options_.vae.learning_rate;
+      to.seed = options_.seed;  // identical eps streams across replicas
+      st.trainer = std::make_unique<nn::Trainer>(*st.vae, to);
+      st.dataset = std::make_unique<nn::ConfigDataset>(
+          lattice_.num_sites(), options_.vae.dataset_capacity,
+          st.vae->options().condition_dim);
+      st.reservoir_rng = Xoshiro256ss(
+          options_.seed ^ stream_id(static_cast<std::uint64_t>(rank), 7));
+    }
+
+    st.kernel = std::make_shared<DeepThermoProposal>(
+        hamiltonian_, st.vae, options_.global_fraction);
+    if (options_.condition_on_energy) {
+      // Fix this walker's decoder condition to its window centre --
+      // state-independent, so the kernel stays exactly balanced.
+      const auto windows = par::make_windows(
+          grid_.n_bins(), options_.rewl.n_windows, options_.rewl.overlap);
+      const int window_id = rank / options_.rewl.walkers_per_window;
+      const auto& w = windows[static_cast<std::size_t>(window_id)];
+      const double centre = grid_.energy((w.lo_bin + w.hi_bin) / 2);
+      st.kernel->vae_kernel().set_condition(
+          {static_cast<float>(normalized_energy(centre))});
+    }
+    return st.kernel;
+  };
+
+  par::IntervalHook hook;
+  if (options_.use_vae && options_.retrain_every_rounds > 0) {
+    hook = [&](par::Communicator& comm, mc::WangLandauSampler& walker,
+               mc::Rng& /*rng*/) {
+      RankState& st = states[static_cast<std::size_t>(comm.rank())];
+      if (options_.condition_on_energy) {
+        const float c =
+            static_cast<float>(normalized_energy(walker.energy()));
+        st.dataset->add(walker.configuration().occupancy(), st.reservoir_rng,
+                        std::span<const float>(&c, 1));
+      } else {
+        st.dataset->add(walker.configuration().occupancy(), st.reservoir_rng);
+      }
+      ++st.rounds;
+      if (st.rounds % options_.retrain_every_rounds == 0 &&
+          st.dataset->size() >= 2) {
+        par::ddp_fit(comm, *st.trainer, *st.dataset, options_.retrain_epochs,
+                     options_.vae.batch_size);
+      }
+    };
+  }
+
+  Stopwatch sample_clock;
+  result.rewl = par::run_rewl(hamiltonian_, lattice_, options_.n_species,
+                              grid_, options_.rewl, factory, hook);
+  result.sample_seconds = sample_clock.seconds();
+
+  // Aggregate per-kernel stats (threads are joined; states are ours).
+  for (const RankState& st : states) {
+    if (st.kernel == nullptr) continue;
+    result.vae_stats.proposed += st.kernel->vae_stats().proposed;
+    result.vae_stats.reverted += st.kernel->vae_stats().reverted;
+    result.local_stats.proposed += st.kernel->local_stats().proposed;
+    result.local_stats.reverted += st.kernel->local_stats().reverted;
+  }
+
+  result.dos = result.rewl.dos;
+
+  // ---- optional multicanonical production phase ----
+  if (options_.production_sweeps > 0 && result.rewl.dos.num_visited() > 1) {
+    Stopwatch production_clock;
+    mc::Rng init_rng(options_.seed, stream_id(0xBB, 0));
+    lattice::Configuration cfg =
+        lattice::random_configuration(lattice_, options_.n_species, init_rng);
+    // Drive the walker onto the reference support with a cheap quench
+    // towards the support's energy span.
+    {
+      mc::WangLandauOptions seek_opts;
+      seek_opts.window_lo_bin = result.rewl.dos.first_visited();
+      seek_opts.window_hi_bin = result.rewl.dos.last_visited();
+      mc::WangLandauSampler seeker(hamiltonian_, cfg, grid_, seek_opts,
+                                   mc::Rng(options_.seed, stream_id(0xBB, 1)));
+      mc::LocalSwapProposal seek_kernel(hamiltonian_);
+      seeker.seek_window(seek_kernel, 2000);
+    }
+    const std::int32_t start_bin = grid_.bin(hamiltonian_.total_energy(cfg));
+    if (start_bin >= 0 && result.rewl.dos.visited(start_bin)) {
+      mc::MulticanonicalSampler production(
+          hamiltonian_, cfg, result.rewl.dos,
+          mc::Rng(options_.seed, stream_id(0xBB, 2)));
+      mc::LocalSwapProposal kernel(hamiltonian_);
+      production.run(kernel, options_.production_sweeps);
+      result.production_flatness = production.flatness();
+      // Refine only if the production run covered the support; a partial
+      // histogram would punch holes into the DOS.
+      const auto refined = production.refined_dos();
+      if (refined.num_visited() == result.rewl.dos.num_visited())
+        result.dos = refined;
+    } else {
+      DT_LOG_WARN << "production phase skipped: walker failed to reach the "
+                     "DOS support";
+    }
+    result.production_seconds = production_clock.seconds();
+  }
+
+  result.dos.normalize(log_total_states());
+  return result;
+}
+
+std::vector<mc::ThermoPoint> Framework::scan(const DeepThermoResult& result,
+                                             double t_lo, double t_hi,
+                                             std::size_t n_points) {
+  return mc::thermo_scan(result.dos, linspace(t_lo, t_hi, n_points));
+}
+
+}  // namespace dt::core

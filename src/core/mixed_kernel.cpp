@@ -1,0 +1,36 @@
+#include "core/mixed_kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace dt::core {
+
+DeepThermoProposal::DeepThermoProposal(
+    const lattice::EpiHamiltonian& hamiltonian, std::shared_ptr<nn::Vae> vae,
+    double global_fraction)
+    : local_(hamiltonian),
+      vae_(hamiltonian, std::move(vae)),
+      global_fraction_(global_fraction) {
+  DT_CHECK(global_fraction >= 0.0 && global_fraction <= 1.0);
+}
+
+mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
+                                               double current_energy,
+                                               mc::Rng& rng) {
+  // Component choice must be state-independent for the mixture to remain
+  // a valid MH kernel; a fixed Bernoulli qualifies.
+  last_was_global_ = uniform01(rng) < global_fraction_;
+  if (last_was_global_) return vae_.propose(cfg, current_energy, rng);
+  ++local_stats_.proposed;
+  return local_.propose(cfg, current_energy, rng);
+}
+
+void DeepThermoProposal::revert(lattice::Configuration& cfg) {
+  if (last_was_global_) {
+    vae_.revert(cfg);
+  } else {
+    ++local_stats_.reverted;
+    local_.revert(cfg);
+  }
+}
+
+}  // namespace dt::core

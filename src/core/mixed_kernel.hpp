@@ -1,0 +1,53 @@
+// The DeepThermo sampling kernel: a state-independent mixture of the
+// local swap kernel (probability 1 - global_fraction) and the VAE global
+// kernel (probability global_fraction), with per-component acceptance
+// bookkeeping. Pure global proposals stall at low energies; pure local
+// proposals diffuse slowly across the window -- the mixture gets both
+// regimes (ablated in bench_a1_mixing).
+#pragma once
+
+#include <memory>
+
+#include "core/vae_proposal.hpp"
+#include "mc/proposal.hpp"
+
+namespace dt::core {
+
+struct KernelStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t reverted = 0;
+
+  [[nodiscard]] double acceptance_rate() const {
+    return proposed == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(reverted) /
+                           static_cast<double>(proposed);
+  }
+};
+
+class DeepThermoProposal final : public mc::Proposal {
+ public:
+  DeepThermoProposal(const lattice::EpiHamiltonian& hamiltonian,
+                     std::shared_ptr<nn::Vae> vae, double global_fraction);
+
+  mc::ProposalResult propose(lattice::Configuration& cfg,
+                             double current_energy, mc::Rng& rng) override;
+  void revert(lattice::Configuration& cfg) override;
+  [[nodiscard]] std::string name() const override { return "deepthermo"; }
+
+  [[nodiscard]] const KernelStats& local_stats() const { return local_stats_; }
+  [[nodiscard]] const VaeProposalStats& vae_stats() const {
+    return vae_.stats();
+  }
+  [[nodiscard]] VaeProposal& vae_kernel() { return vae_; }
+  [[nodiscard]] double global_fraction() const { return global_fraction_; }
+
+ private:
+  mc::LocalSwapProposal local_;
+  VaeProposal vae_;
+  double global_fraction_;
+  bool last_was_global_ = false;
+  KernelStats local_stats_;
+};
+
+}  // namespace dt::core

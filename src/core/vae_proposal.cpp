@@ -1,0 +1,124 @@
+#include "core/vae_proposal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::core {
+
+using lattice::Configuration;
+
+VaeProposal::VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
+                         std::shared_ptr<nn::Vae> vae)
+    : hamiltonian_(&hamiltonian), vae_(std::move(vae)) {
+  DT_CHECK(vae_ != nullptr);
+  z_.resize(static_cast<std::size_t>(vae_->latent_dim()));
+}
+
+double VaeProposal::sequential_log_density(
+    std::span<const float> probs, std::span<const std::uint8_t> occupancy,
+    int n_species) {
+  const auto s = static_cast<std::size_t>(n_species);
+  const std::size_t n = occupancy.size();
+  DT_CHECK(probs.size() == n * s);
+
+  // Remaining species budget follows the evaluated configuration.
+  std::vector<double> remaining(s, 0.0);
+  for (std::uint8_t sp : occupancy) remaining[sp] += 1.0;
+
+  double log_q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* block = &probs[i * s];
+    double norm = 0.0;
+    for (std::size_t k = 0; k < s; ++k)
+      norm += static_cast<double>(block[k]) * remaining[k];
+    const auto chosen = static_cast<std::size_t>(occupancy[i]);
+    const double w =
+        static_cast<double>(block[chosen]) * remaining[chosen];
+    DT_CHECK_MSG(w > 0.0 && norm > 0.0,
+                 "sequential density: zero weight at site " << i);
+    log_q += std::log(w / norm);
+    remaining[chosen] -= 1.0;
+  }
+  return log_q;
+}
+
+mc::ProposalResult VaeProposal::propose(Configuration& cfg,
+                                        double current_energy, mc::Rng& rng) {
+  const auto n = static_cast<std::size_t>(cfg.num_sites());
+  const auto s = static_cast<std::size_t>(cfg.n_species());
+  DT_CHECK(static_cast<std::int64_t>(n) == vae_->options().n_sites);
+  DT_CHECK(static_cast<int>(s) == vae_->options().n_species);
+
+  // 1. Fresh latent draw (state-independent).
+  for (auto& v : z_) v = static_cast<float>(normal01(rng));
+
+  // 2. Decode the per-site categoricals (conditioned if configured).
+  const std::vector<float> probs = vae_->decode_probs(z_, condition_);
+
+  // Save the current state for revert and for the reverse density.
+  const auto occ = cfg.occupancy();
+  saved_.assign(occ.begin(), occ.end());
+
+  // 3. Constrained sequential sampling of the candidate.
+  std::vector<double> remaining(s, 0.0);
+  for (std::uint8_t sp : saved_) remaining[sp] += 1.0;
+
+  std::vector<std::uint8_t> candidate(n);
+  double log_q_fwd = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* block = &probs[i * s];
+    double norm = 0.0;
+    for (std::size_t k = 0; k < s; ++k)
+      norm += static_cast<double>(block[k]) * remaining[k];
+    // norm > 0: probabilities are floored and sum(remaining) = n - i > 0.
+    double u = uniform01(rng) * norm;
+    std::size_t chosen = s - 1;
+    for (std::size_t k = 0; k < s; ++k) {
+      const double w = static_cast<double>(block[k]) * remaining[k];
+      if (u < w) {
+        chosen = k;
+        break;
+      }
+      u -= w;
+    }
+    // Guard: the fallback (s-1) must have budget; scan back if not.
+    while (remaining[chosen] <= 0.0) {
+      DT_CHECK(chosen > 0);
+      --chosen;
+    }
+    const double w =
+        static_cast<double>(block[chosen]) * remaining[chosen];
+    log_q_fwd += std::log(w / norm);
+    candidate[i] = static_cast<std::uint8_t>(chosen);
+    remaining[chosen] -= 1.0;
+  }
+
+  // 4. Reverse density of the current state under the same z.
+  const double log_q_rev = sequential_log_density(probs, saved_, cfg.n_species());
+
+  cfg.assign(candidate);
+  const double new_energy = hamiltonian_->total_energy(cfg);
+
+  ++stats_.proposed;
+  mc::ProposalResult result;
+  result.valid = true;
+  result.delta_energy = new_energy - current_energy;
+  result.log_q_ratio = log_q_rev - log_q_fwd;
+  return result;
+}
+
+void VaeProposal::set_condition(std::vector<float> condition) {
+  DT_CHECK_MSG(static_cast<std::int32_t>(condition.size()) ==
+                   vae_->options().condition_dim,
+               "condition size must equal the VAE's condition_dim");
+  condition_ = std::move(condition);
+}
+
+void VaeProposal::revert(Configuration& cfg) {
+  DT_CHECK(saved_.size() == static_cast<std::size_t>(cfg.num_sites()));
+  cfg.assign(saved_);
+  ++stats_.reverted;
+}
+
+}  // namespace dt::core

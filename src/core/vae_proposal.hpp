@@ -1,0 +1,85 @@
+// The DeepThermo global-update proposal: a VAE decoder drives a
+// composition-preserving, exactly-correctable Metropolis-Hastings kernel.
+//
+// Scheme (auxiliary-variable MH; detailed balance holds exactly):
+//   1. Draw z ~ N(0, I) fresh each move, independent of the state.
+//   2. Decode per-site categorical probabilities p(sigma_i | z).
+//   3. Sample the candidate x' by *constrained sequential sampling*: visit
+//      sites in order, renormalising the categorical at each site by the
+//      remaining species budget so the fixed alloy composition is
+//      conserved by construction. Its density q(x|z) is an exact product
+//      of the renormalised site probabilities.
+//   4. Report log_q_ratio = ln q(x|z) - ln q(x'|z) using the SAME z on
+//      both sides. The resulting kernel
+//          K(x->x') = Int p(z) q(x'|z) A(x,x',z) dz,
+//          A = min(1, [pi(x') q(x|z)] / [pi(x) q(x'|z)])
+//      satisfies pi(x) K(x->x') = pi(x') K(x'->x) because the integrand
+//      min(pi(x) q(x'|z), pi(x') q(x|z)) is symmetric in (x, x').
+//
+// The decoder's probabilities are floored (uniform mixing, see
+// Vae::decode_probs), so q(x|z) > 0 everywhere: the kernel is irreducible
+// on the fixed-composition slice and the log-ratio is bounded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lattice/hamiltonian.hpp"
+#include "mc/proposal.hpp"
+#include "nn/vae.hpp"
+
+namespace dt::core {
+
+struct VaeProposalStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t reverted = 0;
+
+  /// Upper bound on acceptance (accepted = proposed - reverted).
+  [[nodiscard]] double acceptance_rate() const {
+    return proposed == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(reverted) /
+                           static_cast<double>(proposed);
+  }
+};
+
+class VaeProposal final : public mc::Proposal {
+ public:
+  /// `vae` is shared (read-only during sampling) across walkers; its
+  /// n_sites/n_species must match the configurations sampled.
+  VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
+              std::shared_ptr<nn::Vae> vae);
+
+  mc::ProposalResult propose(lattice::Configuration& cfg,
+                             double current_energy, mc::Rng& rng) override;
+  void revert(lattice::Configuration& cfg) override;
+  [[nodiscard]] std::string name() const override { return "vae-global"; }
+  [[nodiscard]] bool is_global() const override { return true; }
+
+  [[nodiscard]] const VaeProposalStats& stats() const { return stats_; }
+  [[nodiscard]] nn::Vae& vae() { return *vae_; }
+
+  /// Conditional models: fix the decoder condition for this walker
+  /// (e.g. its window's normalised centre energy). The condition must be
+  /// STATE-INDEPENDENT -- constant per walker -- or detailed balance is
+  /// lost; that is why it is a set-once property, not a per-move input.
+  void set_condition(std::vector<float> condition);
+
+  /// Exact log-density of `occupancy` under the constrained sequential
+  /// process with per-site probabilities `probs` (n_sites*n_species).
+  /// Exposed for tests.
+  static double sequential_log_density(
+      std::span<const float> probs, std::span<const std::uint8_t> occupancy,
+      int n_species);
+
+ private:
+  const lattice::EpiHamiltonian* hamiltonian_;
+  std::shared_ptr<nn::Vae> vae_;
+  VaeProposalStats stats_;
+  std::vector<std::uint8_t> saved_;   // pre-proposal occupancy for revert
+  std::vector<float> z_;              // scratch latent
+  std::vector<float> condition_;      // fixed decoder condition
+};
+
+}  // namespace dt::core

@@ -1,0 +1,176 @@
+#include "device/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::device {
+
+namespace {
+
+/// Narrower windows than this converge erratically (too few bins for a
+/// meaningful flatness test), so the simulator stops adding windows and
+/// starts adding walkers per window instead -- matching REWL practice.
+constexpr double kMinBinsPerWindow = 12.0;
+
+double window_bins(double n_bins, double n_windows, double overlap) {
+  return n_bins / (1.0 + (n_windows - 1.0) * (1.0 - overlap));
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(DeviceModel device, NetworkModel network)
+    : device_(std::move(device)), network_(std::move(network)) {}
+
+double ClusterSimulator::sweep_time(const ScalingWorkload& w) const {
+  // Local move: read the two sites' neighbourhoods (species bytes) and the
+  // coupling table (cached); a handful of FLOPs per bond. Memory-bound.
+  const double z = w.coordination;
+  const double bytes_per_move = 2.0 * z * 8.0;
+  const double flops_per_move = 2.0 * z * 4.0;
+  const double moves = static_cast<double>(w.n_sites);
+
+  const double mem_s = moves * bytes_per_move /
+                       (device_.mem_bandwidth_gbs * 1e9);
+  const double flop_s = moves * flops_per_move /
+                        (device_.fp32_tflops * 1e12 * device_.mc_efficiency);
+  // A sweep is a few fused kernels, not one launch per move.
+  const double launch_s = 4.0 * device_.kernel_launch_us * 1e-6;
+  double t = std::max(mem_s, flop_s) + launch_s;
+
+  // Global (VAE) moves: decode + full energy evaluation each.
+  const double global_moves = w.global_fraction * moves;
+  if (global_moves > 0.0) {
+    const double energy_eval_s =
+        static_cast<double>(w.n_sites) * z * 8.0 /
+        (device_.mem_bandwidth_gbs * 1e9);
+    t += global_moves * (decode_time(w) + energy_eval_s);
+  }
+  return t;
+}
+
+double ClusterSimulator::decode_time(const ScalingWorkload& w) const {
+  // Decoder GEMMs dominate: latent->hidden + hidden->input, batch 1.
+  const double input = static_cast<double>(w.n_sites) * w.n_species;
+  const double flops =
+      2.0 * (static_cast<double>(w.vae_latent) * static_cast<double>(w.vae_hidden) +
+             static_cast<double>(w.vae_hidden) * input);
+  const double t = flops / (device_.fp32_tflops * 1e12 *
+                            device_.gemm_efficiency);
+  return t + 2.0 * device_.kernel_launch_us * 1e-6;
+}
+
+double ClusterSimulator::train_step_time(const ScalingWorkload& w) const {
+  // fwd + bwd ~ 3x forward cost; forward ~ 2 * params * batch FLOPs.
+  const double flops = 6.0 * static_cast<double>(w.vae_params()) *
+                       static_cast<double>(w.train_batch);
+  const double t = flops / (device_.fp32_tflops * 1e12 *
+                            device_.gemm_efficiency);
+  return t + 6.0 * device_.kernel_launch_us * 1e-6;
+}
+
+ScalingPoint ClusterSimulator::simulate(const ScalingWorkload& w, int n_gpus,
+                                        ScalingMode mode) const {
+  DT_CHECK(n_gpus >= 1);
+  ScalingPoint pt;
+  pt.n_gpus = n_gpus;
+
+  double n_windows = 1.0;
+  double walkers = 1.0;
+  double bins_w = w.n_bins;
+  double sweeps = w.base_sweeps;
+
+  if (mode == ScalingMode::kStrong) {
+    // Add windows until they hit the minimum useful width, then add
+    // walkers per window.
+    double max_windows = 1.0;
+    while (window_bins(w.n_bins, max_windows + 1.0, w.overlap) >=
+           kMinBinsPerWindow)
+      max_windows += 1.0;
+    n_windows = std::min(static_cast<double>(n_gpus), max_windows);
+    walkers = static_cast<double>(n_gpus) / n_windows;
+    bins_w = window_bins(w.n_bins, n_windows, w.overlap);
+    // Random-walk diffusion across the window: sweeps ~ width^2, shared
+    // linearly by the window's walkers. One sweep must still traverse the
+    // window at least once per ln f stage, so a weak per-stage floor
+    // remains (a sweep is n_sites bin-steps; crossing bins_w bins
+    // diffusively takes bins_w^2 steps).
+    constexpr double kStages = 25.0;
+    const double traversal_sweeps =
+        bins_w * bins_w / static_cast<double>(w.n_sites);
+    sweeps = std::max(
+        w.base_sweeps * (bins_w / w.n_bins) * (bins_w / w.n_bins) / walkers,
+        kStages * std::max(traversal_sweeps, 1.0));
+  } else {
+    // Weak: every GPU owns one fixed-width window; the covered energy
+    // range grows with the GPU count. Per-walker work is constant.
+    n_windows = static_cast<double>(n_gpus);
+    walkers = 1.0;
+    bins_w = w.n_bins;
+    sweeps = w.base_sweeps;
+  }
+
+  const double t_sweep = sweep_time(w);
+  // At least one training refresh happens whenever the VAE kernel is in
+  // use, however short the windows got.
+  double n_train_rounds =
+      std::floor(sweeps / static_cast<double>(w.train_interval));
+  if (w.global_fraction > 0.0) n_train_rounds = std::max(n_train_rounds, 1.0);
+  const double t_train_compute =
+      n_train_rounds * static_cast<double>(w.train_batches) *
+      train_step_time(w);
+  pt.compute_seconds = sweeps * t_sweep + t_train_compute;
+
+  // Communication: replica exchange p2p + convergence allreduce per
+  // exchange round, gradient allreduce per training step.
+  const double n_exchanges = std::max(
+      std::floor(sweeps / static_cast<double>(w.exchange_interval)),
+      n_gpus > 1 ? 1.0 : 0.0);
+  const bool same_node = n_gpus <= network_.gpus_per_node;
+  const double config_bytes = static_cast<double>(w.n_sites) + 3.0 * 8.0;
+  double comm = 0.0;
+  if (n_gpus > 1) {
+    comm += n_exchanges *
+            (p2p_time(network_, config_bytes, same_node) +
+             allreduce_time(network_, 8.0, n_gpus));
+    const double grad_bytes = static_cast<double>(w.vae_params()) * 4.0;
+    comm += n_train_rounds * static_cast<double>(w.train_batches) *
+            allreduce_time(network_, grad_bytes, n_gpus);
+  }
+  pt.comm_seconds = comm;
+  pt.time_seconds = pt.compute_seconds + pt.comm_seconds;
+  pt.comm_fraction = pt.time_seconds > 0.0
+                         ? pt.comm_seconds / pt.time_seconds
+                         : 0.0;
+  pt.n_windows = static_cast<int>(std::lround(n_windows));
+  pt.walkers_per_window = std::max(1, static_cast<int>(std::lround(walkers)));
+  return pt;
+}
+
+std::vector<ScalingPoint> ClusterSimulator::sweep_gpus(
+    const ScalingWorkload& w, const std::vector<int>& gpu_counts,
+    ScalingMode mode) const {
+  DT_CHECK(!gpu_counts.empty());
+  std::vector<ScalingPoint> points;
+  points.reserve(gpu_counts.size());
+  for (int g : gpu_counts) points.push_back(simulate(w, g, mode));
+
+  const double t_ref = points.front().time_seconds;
+  for (auto& pt : points) {
+    // Time-to-solution speedup. For REWL this is legitimately
+    // superlinear in GPUs: splitting the energy range into W windows cuts
+    // the per-walker diffusion time by ~W^2 while windows run in
+    // parallel (Vogel et al. report the same).
+    pt.speedup = t_ref / pt.time_seconds;
+    // Parallel efficiency = fraction of wall-clock spent computing, i.e.
+    // what communication/synchronisation leaves on the table. <= 1 by
+    // construction and comparable across modes and machines.
+    pt.efficiency = pt.time_seconds > 0.0
+                        ? pt.compute_seconds / pt.time_seconds
+                        : 1.0;
+  }
+  return points;
+}
+
+}  // namespace dt::device

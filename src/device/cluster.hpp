@@ -1,0 +1,110 @@
+// Deterministic cost simulator for DeepThermo at supercomputer scale.
+//
+// Reproduces the *shape* of the paper's scaling study (who scales, where
+// communication starts to dominate, V100 vs MI250X) by composing:
+//
+//   per-GPU Wang-Landau sweep time        (kernel cost model)
+//   per-GPU VAE decode / training time    (kernel cost model)
+//   replica-exchange p2p messages          (network model)
+//   gradient + convergence collectives     (network model)
+//   REWL convergence law: sweeps-to-flat  ~ (bins per window)^2 / walkers
+//
+// The convergence exponent is the 1-D random-walk diffusion argument of
+// Vogel et al.; the simulator is calibrated against the *measured*
+// in-process runs at small scale (see bench_f6_scaling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace dt::device {
+
+/// Problem + algorithm parameters that determine per-GPU work.
+struct ScalingWorkload {
+  std::int64_t n_sites = 8192;     ///< atoms (16^3 BCC x2)
+  int n_species = 4;
+  int coordination = 14;           ///< bonds touched per local move (z1+z2)
+  std::int32_t n_bins = 8000;      ///< global energy bins (paper scale)
+  double overlap = 0.75;           ///< REWL window overlap
+  /// Convergence prefactor: sweeps-to-converge for one window of width
+  /// `n_bins` with one walker (calibrated from measured small runs).
+  double base_sweeps = 5.0e6;
+  std::int64_t exchange_interval = 100;  ///< sweeps between exchanges
+  /// VAE geometry (decoder dominates proposal cost).
+  std::int64_t vae_hidden = 256;
+  std::int64_t vae_latent = 32;
+  double global_fraction = 0.05;   ///< share of moves using the VAE kernel
+  /// Training cadence: one data-parallel epoch every `train_interval`
+  /// sweeps, `train_batches` Adam steps of `train_batch` samples each.
+  std::int64_t train_interval = 1000;
+  std::int64_t train_batches = 50;
+  std::int64_t train_batch = 64;
+
+  [[nodiscard]] std::int64_t vae_params() const {
+    const std::int64_t input = n_sites * n_species;
+    // encoder + mu/logvar heads + decoder (weights + biases)
+    return input * vae_hidden + vae_hidden +
+           2 * (vae_hidden * vae_latent + vae_latent) +
+           vae_latent * vae_hidden + vae_hidden +
+           vae_hidden * input + input;
+  }
+};
+
+enum class ScalingMode {
+  kStrong,  ///< fixed global problem; GPUs add windows then walkers
+  kWeak     ///< fixed per-GPU window width; range grows with GPUs
+};
+
+struct ScalingPoint {
+  int n_gpus = 0;
+  int n_windows = 0;
+  int walkers_per_window = 0;
+  double time_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  /// Time-to-solution vs the series' first point. Superlinear values are
+  /// expected for strong REWL scaling (window splitting cuts per-walker
+  /// diffusion time ~quadratically).
+  double speedup = 0.0;
+  /// Parallel efficiency: compute_seconds / time_seconds (the fraction of
+  /// wall-clock not lost to communication). In [0, 1].
+  double efficiency = 0.0;
+  double comm_fraction = 0.0;
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(DeviceModel device, NetworkModel network);
+
+  [[nodiscard]] const DeviceModel& device() const { return device_; }
+  [[nodiscard]] const NetworkModel& network() const { return network_; }
+
+  /// Modelled seconds for one WL sweep (n_sites local-move attempts,
+  /// a global_fraction of them VAE decodes) on one GPU.
+  [[nodiscard]] double sweep_time(const ScalingWorkload& w) const;
+
+  /// Modelled seconds for one VAE decode (proposal generation).
+  [[nodiscard]] double decode_time(const ScalingWorkload& w) const;
+
+  /// Modelled seconds for one local data-parallel training step
+  /// (compute only; the gradient allreduce is added by simulate()).
+  [[nodiscard]] double train_step_time(const ScalingWorkload& w) const;
+
+  /// End-to-end modelled time-to-converged-DOS on `n_gpus` GPUs.
+  [[nodiscard]] ScalingPoint simulate(const ScalingWorkload& w, int n_gpus,
+                                      ScalingMode mode) const;
+
+  /// Convenience: a full sweep over GPU counts with speedup/efficiency
+  /// filled in relative to the first entry.
+  [[nodiscard]] std::vector<ScalingPoint> sweep_gpus(
+      const ScalingWorkload& w, const std::vector<int>& gpu_counts,
+      ScalingMode mode) const;
+
+ private:
+  DeviceModel device_;
+  NetworkModel network_;
+};
+
+}  // namespace dt::device

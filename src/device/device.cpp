@@ -1,0 +1,77 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dt::device {
+
+DeviceModel v100() {
+  DeviceModel d;
+  d.name = "V100";
+  d.fp32_tflops = 15.7;
+  d.mem_bandwidth_gbs = 900.0;
+  d.kernel_launch_us = 5.0;
+  d.mc_efficiency = 0.05;
+  d.gemm_efficiency = 0.35;
+  return d;
+}
+
+NetworkModel summit_network() {
+  NetworkModel n;
+  n.name = "Summit/EDR-IB";
+  n.latency_us = 1.5;
+  n.bandwidth_gbs = 12.5;  // EDR: 100 Gb/s per direction per port
+  n.gpus_per_node = 6;
+  n.intra_latency_us = 0.7;
+  n.intra_bandwidth_gbs = 50.0;  // NVLink2: 50 GB/s per direction per brick
+  return n;
+}
+
+DeviceModel mi250x_gcd() {
+  DeviceModel d;
+  d.name = "MI250X-GCD";
+  d.fp32_tflops = 23.9;           // per GCD (vector fp32)
+  d.mem_bandwidth_gbs = 1638.0;   // per GCD HBM2e
+  d.kernel_launch_us = 7.0;       // ROCm launch overhead is a bit higher
+  d.mc_efficiency = 0.045;
+  d.gemm_efficiency = 0.33;
+  return d;
+}
+
+NetworkModel frontier_network() {
+  NetworkModel n;
+  n.name = "Frontier/Slingshot-11";
+  n.latency_us = 2.0;
+  n.bandwidth_gbs = 25.0;  // 200 Gb/s NIC per direction
+  n.gpus_per_node = 8;     // 8 GCDs per node
+  n.intra_latency_us = 0.9;
+  n.intra_bandwidth_gbs = 36.0;  // Infinity Fabric per-link
+  return n;
+}
+
+double p2p_time(const NetworkModel& net, double bytes, bool same_node) {
+  DT_CHECK(bytes >= 0.0);
+  const double latency =
+      (same_node ? net.intra_latency_us : net.latency_us) * 1e-6;
+  const double bw =
+      (same_node ? net.intra_bandwidth_gbs : net.bandwidth_gbs) * 1e9;
+  return latency + bytes / bw;
+}
+
+double allreduce_time(const NetworkModel& net, double bytes, int ranks) {
+  DT_CHECK(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  // Ring allreduce: 2(P-1)/P of the payload crosses each endpoint, with
+  // 2(P-1) latency-bound steps. Use inter-node parameters once the ring
+  // spans nodes (the common case at scale), intra-node otherwise.
+  const bool fits_node = ranks <= net.gpus_per_node;
+  const double latency =
+      (fits_node ? net.intra_latency_us : net.latency_us) * 1e-6;
+  const double bw =
+      (fits_node ? net.intra_bandwidth_gbs : net.bandwidth_gbs) * 1e9;
+  const double p = static_cast<double>(ranks);
+  return 2.0 * (p - 1.0) * latency + 2.0 * (p - 1.0) / p * bytes / bw;
+}
+
+}  // namespace dt::device

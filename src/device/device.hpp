@@ -1,0 +1,52 @@
+// Analytic device and interconnect models.
+//
+// The paper evaluates DeepThermo on up to 3,000 GPUs of Summit (NVIDIA
+// V100) and a Frontier-class AMD MI250X machine. This environment has no
+// GPUs, so the scaling study (bench_f6_scaling, bench_t1_throughput) runs
+// on performance *models*: published peak FLOP rates, HBM bandwidths and
+// interconnect parameters drive a deterministic cost simulator
+// (cluster.hpp). Kernels still execute on the CPU for correctness; the
+// models are used only to predict time, which is reported as "modelled".
+#pragma once
+
+#include <string>
+
+namespace dt::device {
+
+struct DeviceModel {
+  std::string name;
+  double fp32_tflops = 0.0;       ///< peak single-precision TFLOP/s
+  double mem_bandwidth_gbs = 0.0; ///< HBM bandwidth, GB/s
+  double kernel_launch_us = 0.0;  ///< per-kernel launch overhead
+  /// Achievable fraction of peak for small, latency-bound MC kernels vs
+  /// dense GEMM-like training kernels.
+  double mc_efficiency = 0.05;
+  double gemm_efficiency = 0.35;
+};
+
+struct NetworkModel {
+  std::string name;
+  double latency_us = 0.0;        ///< per-message software+wire latency
+  double bandwidth_gbs = 0.0;     ///< per-endpoint injection bandwidth
+  int gpus_per_node = 1;
+  /// Intra-node link (NVLink / Infinity Fabric) parameters.
+  double intra_latency_us = 0.0;
+  double intra_bandwidth_gbs = 0.0;
+};
+
+/// NVIDIA V100 (Summit node: 6 per node, NVLink2, EDR InfiniBand).
+DeviceModel v100();
+NetworkModel summit_network();
+
+/// One MI250X GCD (Frontier-class node: 8 GCDs, Infinity Fabric,
+/// Slingshot-11). The paper counts GCDs as GPUs, as does Frontier.
+DeviceModel mi250x_gcd();
+NetworkModel frontier_network();
+
+/// Time to move `bytes` point-to-point between two ranks, seconds.
+double p2p_time(const NetworkModel& net, double bytes, bool same_node);
+
+/// Ring allreduce of `bytes` across `ranks` endpoints, seconds.
+double allreduce_time(const NetworkModel& net, double bytes, int ranks);
+
+}  // namespace dt::device

@@ -1,0 +1,69 @@
+#include "lattice/configuration.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::lattice {
+
+Configuration::Configuration(const Lattice& lattice, int n_species)
+    : lattice_(&lattice),
+      n_species_(n_species),
+      occupancy_(static_cast<std::size_t>(lattice.num_sites()), Species{0}),
+      composition_(static_cast<std::size_t>(n_species), 0) {
+  DT_CHECK_MSG(n_species >= 1 && n_species <= 255,
+               "n_species out of range: " << n_species);
+  composition_[0] = lattice.num_sites();
+}
+
+void Configuration::set(std::int32_t site, Species species) {
+  DT_CHECK(species < n_species_);
+  Species& slot = occupancy_[static_cast<std::size_t>(site)];
+  --composition_[slot];
+  slot = species;
+  ++composition_[species];
+}
+
+void Configuration::swap(std::int32_t a, std::int32_t b) {
+  std::swap(occupancy_[static_cast<std::size_t>(a)],
+            occupancy_[static_cast<std::size_t>(b)]);
+}
+
+void Configuration::assign(std::span<const Species> occupancy) {
+  DT_CHECK_MSG(occupancy.size() == occupancy_.size(),
+               "occupancy size mismatch: " << occupancy.size() << " vs "
+                                           << occupancy_.size());
+  std::fill(composition_.begin(), composition_.end(), 0);
+  for (std::size_t i = 0; i < occupancy.size(); ++i) {
+    DT_CHECK(occupancy[i] < n_species_);
+    occupancy_[i] = occupancy[i];
+    ++composition_[occupancy[i]];
+  }
+}
+
+double Configuration::log_state_count() const {
+  std::vector<std::size_t> counts(composition_.size());
+  for (std::size_t s = 0; s < counts.size(); ++s)
+    counts[s] = static_cast<std::size_t>(composition_[s]);
+  return log_multinomial(counts);
+}
+
+Configuration ordered_b2(const Lattice& lattice, int n_species) {
+  DT_CHECK_MSG(lattice.type() == LatticeType::kBCC,
+               "B2 ordering requires a BCC lattice");
+  DT_CHECK(n_species >= 2);
+  Configuration cfg(lattice, n_species);
+  // Sublattice 0 (corners) hosts even species, sublattice 1 (centres) odd
+  // species; within a sublattice species are striped over cells so that
+  // >2-component systems still get a definite ordered reference state.
+  const int per_sub = (n_species + 1) / 2;
+  for (std::int32_t site = 0; site < lattice.num_sites(); ++site) {
+    const auto [cx, cy, cz, b] = lattice.decompose(site);
+    const int stripe = (cx + cy + cz) % per_sub;
+    int species = 2 * stripe + b;
+    if (species >= n_species) species = b;  // fold overflow back
+    cfg.set(site, static_cast<Species>(species));
+  }
+  return cfg;
+}
+
+}  // namespace dt::lattice

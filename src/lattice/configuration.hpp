@@ -1,0 +1,123 @@
+// Site-occupancy configuration of a multi-component alloy.
+//
+// A Configuration assigns one species (0..S-1) to every lattice site. The
+// canonical ensemble of an alloy fixes the composition, so the class tracks
+// per-species counts and all mutators preserve them except set(), which is
+// the explicit escape hatch used when building configurations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lattice/lattice.hpp"
+
+namespace dt::lattice {
+
+using Species = std::uint8_t;
+
+class Configuration {
+ public:
+  /// All sites initialised to species 0.
+  Configuration(const Lattice& lattice, int n_species);
+
+  [[nodiscard]] const Lattice& lattice() const { return *lattice_; }
+  [[nodiscard]] int n_species() const { return n_species_; }
+  [[nodiscard]] std::int32_t num_sites() const { return lattice_->num_sites(); }
+
+  [[nodiscard]] Species at(std::int32_t site) const {
+    return occupancy_[static_cast<std::size_t>(site)];
+  }
+
+  /// Assign a species to a site, updating composition counts.
+  void set(std::int32_t site, Species species);
+
+  /// Exchange the species of two sites (composition-preserving).
+  void swap(std::int32_t a, std::int32_t b);
+
+  [[nodiscard]] std::span<const Species> occupancy() const {
+    return occupancy_;
+  }
+
+  /// Number of sites occupied by each species.
+  [[nodiscard]] std::span<const std::int32_t> composition() const {
+    return composition_;
+  }
+
+  /// Overwrite from a raw occupancy vector (size and species range checked).
+  void assign(std::span<const Species> occupancy);
+
+  /// ln of the number of configurations with this composition
+  /// (multinomial coefficient) -- the exact infinite-temperature entropy.
+  [[nodiscard]] double log_state_count() const;
+
+  bool operator==(const Configuration& other) const {
+    return occupancy_ == other.occupancy_;
+  }
+
+ private:
+  const Lattice* lattice_;
+  int n_species_;
+  std::vector<Species> occupancy_;
+  std::vector<std::int32_t> composition_;
+};
+
+/// Uniformly random arrangement of a target composition. `fractions` need
+/// not sum exactly to 1; counts are rounded with largest-remainder so they
+/// sum to num_sites. Pass an empty span for the equiatomic composition.
+template <class Gen>
+Configuration random_configuration(const Lattice& lattice, int n_species,
+                                   Gen& rng,
+                                   std::span<const double> fractions = {});
+
+/// B2-type ordered configuration on a BCC lattice: species alternate
+/// between the corner and body-centre sublattices (species are assigned
+/// round-robin per sublattice for >2 components).
+Configuration ordered_b2(const Lattice& lattice, int n_species);
+
+// ---- implementation ----
+
+template <class Gen>
+Configuration random_configuration(const Lattice& lattice, int n_species,
+                                   Gen& rng, std::span<const double> fractions) {
+  Configuration cfg(lattice, n_species);
+  const auto n = static_cast<std::size_t>(lattice.num_sites());
+
+  // Build the multiset of species with the requested composition.
+  std::vector<Species> pool(n);
+  if (fractions.empty()) {
+    for (std::size_t i = 0; i < n; ++i)
+      pool[i] = static_cast<Species>(i % static_cast<std::size_t>(n_species));
+  } else {
+    // Largest-remainder rounding of fractional counts.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n_species), 0);
+    std::vector<std::pair<double, std::size_t>> rema;
+    std::size_t assigned = 0;
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+      const double exact = fractions[s] * static_cast<double>(n);
+      counts[s] = static_cast<std::size_t>(exact);
+      assigned += counts[s];
+      rema.emplace_back(exact - static_cast<double>(counts[s]), s);
+    }
+    std::sort(rema.rbegin(), rema.rend());
+    for (std::size_t k = 0; assigned < n; ++k, ++assigned)
+      ++counts[rema[k % rema.size()].second];
+    std::size_t pos = 0;
+    for (std::size_t s = 0; s < counts.size(); ++s)
+      for (std::size_t c = 0; c < counts[s]; ++c)
+        pool[pos++] = static_cast<Species>(s);
+  }
+
+  // Fisher-Yates shuffle.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(uniform_index(rng, i + 1));
+    std::swap(pool[i], pool[j]);
+  }
+  cfg.assign(pool);
+  return cfg;
+}
+
+}  // namespace dt::lattice

@@ -1,0 +1,188 @@
+#include "lattice/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace dt::lattice {
+
+EpiHamiltonian::EpiHamiltonian(int n_species,
+                               std::vector<std::vector<double>> couplings)
+    : n_species_(n_species), couplings_(std::move(couplings)) {
+  DT_CHECK(n_species_ >= 1);
+  DT_CHECK(!couplings_.empty());
+  const auto s = static_cast<std::size_t>(n_species_);
+  min_coupling_ = std::numeric_limits<double>::infinity();
+  max_coupling_ = -std::numeric_limits<double>::infinity();
+  for (const auto& v : couplings_) {
+    DT_CHECK_MSG(v.size() == s * s, "coupling matrix size mismatch");
+    for (std::size_t a = 0; a < s; ++a) {
+      for (std::size_t b = 0; b < s; ++b) {
+        DT_CHECK_MSG(std::abs(v[a * s + b] - v[b * s + a]) < 1e-12,
+                     "coupling matrix not symmetric at (" << a << "," << b
+                                                          << ")");
+        min_coupling_ = std::min(min_coupling_, v[a * s + b]);
+        max_coupling_ = std::max(max_coupling_, v[a * s + b]);
+      }
+    }
+  }
+}
+
+double EpiHamiltonian::total_energy(const Configuration& cfg) const {
+  // Below this size the OpenMP fork/join overhead exceeds the work; the
+  // threshold is deliberately high because walkers already run one per
+  // thread in REWL (nested parallelism is disabled by default there).
+  constexpr std::int32_t kParallelThreshold = 16384;
+  return cfg.num_sites() >= kParallelThreshold ? total_energy_parallel(cfg)
+                                               : total_energy_serial(cfg);
+}
+
+double EpiHamiltonian::total_energy_serial(const Configuration& cfg) const {
+  const Lattice& lat = cfg.lattice();
+  DT_CHECK_MSG(n_shells() <= lat.num_shells(),
+               "Hamiltonian has more shells than the lattice resolves");
+  KahanSum energy;
+  for (int s = 0; s < n_shells(); ++s) {
+    for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+      const Species a = cfg.at(site);
+      for (std::int32_t nb : lat.neighbors(site, s)) {
+        if (nb > site) energy.add(coupling(s, a, cfg.at(nb)));
+      }
+    }
+  }
+  return energy.value();
+}
+
+double EpiHamiltonian::total_energy_parallel(const Configuration& cfg) const {
+  const Lattice& lat = cfg.lattice();
+  DT_CHECK_MSG(n_shells() <= lat.num_shells(),
+               "Hamiltonian has more shells than the lattice resolves");
+  double energy = 0.0;
+  for (int s = 0; s < n_shells(); ++s) {
+#pragma omp parallel for reduction(+ : energy) schedule(static)
+    for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+      const Species a = cfg.at(site);
+      double local = 0.0;
+      for (std::int32_t nb : lat.neighbors(site, s)) {
+        if (nb > site) local += coupling(s, a, cfg.at(nb));
+      }
+      energy += local;
+    }
+  }
+  return energy;
+}
+
+double EpiHamiltonian::site_energy(const Configuration& cfg,
+                                   std::int32_t site) const {
+  const Lattice& lat = cfg.lattice();
+  double energy = 0.0;
+  const Species a = cfg.at(site);
+  for (int s = 0; s < n_shells(); ++s)
+    for (std::int32_t nb : lat.neighbors(site, s))
+      energy += coupling(s, a, cfg.at(nb));
+  return energy;
+}
+
+double EpiHamiltonian::swap_delta(const Configuration& cfg, std::int32_t a,
+                                  std::int32_t b) const {
+  const Species sa = cfg.at(a);
+  const Species sb = cfg.at(b);
+  if (sa == sb || a == b) return 0.0;
+  const Lattice& lat = cfg.lattice();
+
+  double delta = 0.0;
+  for (int s = 0; s < n_shells(); ++s) {
+    // Field terms: treat the other site's spin as frozen, then correct the
+    // doubly-counted (a,b) bond below.
+    for (std::int32_t nb : lat.neighbors(a, s))
+      delta += coupling(s, sb, cfg.at(nb)) - coupling(s, sa, cfg.at(nb));
+    for (std::int32_t nb : lat.neighbors(b, s))
+      delta += coupling(s, sa, cfg.at(nb)) - coupling(s, sb, cfg.at(nb));
+    // Every (a,b) bond in this shell (there can be several through
+    // distinct periodic images on small supercells) is invariant under
+    // the exchange, but the two field sums above turned each one into
+    // V(sb,sb)+V(sa,sa)-2V(sa,sb); undo per bond.
+    const int bonds = lat.neighbor_multiplicity(a, b, s);
+    if (bonds > 0) {
+      delta -= bonds * (coupling(s, sa, sa) + coupling(s, sb, sb) -
+                        2.0 * coupling(s, sa, sb));
+    }
+  }
+  return delta;
+}
+
+double EpiHamiltonian::set_delta(const Configuration& cfg, std::int32_t site,
+                                 Species species) const {
+  const Species old = cfg.at(site);
+  if (old == species) return 0.0;
+  const Lattice& lat = cfg.lattice();
+  double delta = 0.0;
+  for (int s = 0; s < n_shells(); ++s)
+    for (std::int32_t nb : lat.neighbors(site, s))
+      delta += coupling(s, species, cfg.at(nb)) - coupling(s, old, cfg.at(nb));
+  return delta;
+}
+
+std::int64_t EpiHamiltonian::bond_count(const Lattice& lat) const {
+  std::int64_t bonds = 0;
+  for (int s = 0; s < n_shells(); ++s)
+    bonds += static_cast<std::int64_t>(lat.num_sites()) *
+             lat.coordination(s) / 2;
+  return bonds;
+}
+
+EpiHamiltonian epi_nbmotaw() {
+  // Species order: 0=Nb, 1=Mo, 2=Ta, 3=W.
+  //
+  // Synthetic EPI with the qualitative structure of DFT-fitted cluster
+  // expansions for NbMoTaW (see DESIGN.md, substitution table): strong
+  // first-shell Mo-Ta attraction driving B2 ordering, moderate Nb-W
+  // ordering, like-pair repulsion, and a weaker second shell with partly
+  // inverted sign (frustration), all in eV per bond.
+  std::vector<double> v1 = {
+      //  Nb      Mo      Ta      W
+      0.020, -0.015, -0.010, -0.045,   // Nb
+      -0.015, 0.025, -0.085, -0.005,   // Mo
+      -0.010, -0.085, 0.030, -0.020,   // Ta
+      -0.045, -0.005, -0.020, 0.015};  // W
+  std::vector<double> v2 = {
+      0.008, 0.012, -0.004, 0.018,
+      0.012, -0.010, 0.030, 0.002,
+      -0.004, 0.030, -0.012, 0.008,
+      0.018, 0.002, 0.008, -0.006};
+  return EpiHamiltonian(4, {std::move(v1), std::move(v2)});
+}
+
+EpiHamiltonian epi_ising(double j_coupling, int n_shells) {
+  std::vector<std::vector<double>> shells;
+  for (int s = 0; s < n_shells; ++s) {
+    // E = -J s_i s_j with s = +/-1: like pairs -J, unlike +J.
+    shells.push_back({-j_coupling, j_coupling, j_coupling, -j_coupling});
+  }
+  return EpiHamiltonian(2, std::move(shells));
+}
+
+EpiHamiltonian random_epi(int n_species, int n_shells, double scale,
+                          std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const auto s = static_cast<std::size_t>(n_species);
+  std::vector<std::vector<double>> shells;
+  for (int sh = 0; sh < n_shells; ++sh) {
+    std::vector<double> v(s * s, 0.0);
+    for (std::size_t a = 0; a < s; ++a) {
+      for (std::size_t b = a; b < s; ++b) {
+        const double x = scale * (2.0 * uniform01(rng) - 1.0);
+        v[a * s + b] = x;
+        v[b * s + a] = x;
+      }
+    }
+    shells.push_back(std::move(v));
+  }
+  return EpiHamiltonian(n_species, std::move(shells));
+}
+
+}  // namespace dt::lattice

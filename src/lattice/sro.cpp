@@ -1,0 +1,66 @@
+#include "lattice/sro.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::lattice {
+
+SroMatrix warren_cowley(const Configuration& cfg, int shell) {
+  const Lattice& lat = cfg.lattice();
+  DT_CHECK(shell >= 0 && shell < lat.num_shells());
+  const int S = cfg.n_species();
+  const auto s = static_cast<std::size_t>(S);
+
+  // pair_counts[a*S+b]: number of (ordered) a->b neighbour pairs.
+  std::vector<double> pair_counts(s * s, 0.0);
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+    const auto a = static_cast<std::size_t>(cfg.at(site));
+    for (std::int32_t nb : lat.neighbors(site, shell))
+      pair_counts[a * s + static_cast<std::size_t>(cfg.at(nb))] += 1.0;
+  }
+
+  const double n_sites = static_cast<double>(lat.num_sites());
+  const double z = lat.coordination(shell);
+  SroMatrix out;
+  out.n_species = S;
+  out.alpha.assign(s * s, 0.0);
+  for (std::size_t a = 0; a < s; ++a) {
+    const double n_a = static_cast<double>(cfg.composition()[a]);
+    if (n_a == 0.0) continue;
+    for (std::size_t b = 0; b < s; ++b) {
+      const double c_b =
+          static_cast<double>(cfg.composition()[b]) / n_sites;
+      if (c_b == 0.0) continue;
+      const double p_b_given_a = pair_counts[a * s + b] / (n_a * z);
+      out.alpha[a * s + b] = 1.0 - p_b_given_a / c_b;
+    }
+  }
+  return out;
+}
+
+double sro_magnitude(const Configuration& cfg, int shell) {
+  const SroMatrix m = warren_cowley(cfg, shell);
+  const int S = m.n_species;
+  const double n_sites = static_cast<double>(cfg.num_sites());
+  double weight_sum = 0.0;
+  double acc = 0.0;
+  for (int a = 0; a < S; ++a) {
+    const double c_a =
+        static_cast<double>(cfg.composition()[static_cast<std::size_t>(a)]) /
+        n_sites;
+    for (int b = 0; b < S; ++b) {
+      if (a == b) continue;
+      const double c_b =
+          static_cast<double>(cfg.composition()[static_cast<std::size_t>(b)]) /
+          n_sites;
+      const double w = c_a * c_b;
+      acc += w * m.at(a, b) * m.at(a, b);
+      weight_sum += w;
+    }
+  }
+  if (weight_sum == 0.0) return 0.0;
+  return std::sqrt(acc / weight_sum);
+}
+
+}  // namespace dt::lattice

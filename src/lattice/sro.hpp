@@ -1,0 +1,40 @@
+// Warren-Cowley short-range order (SRO) parameters.
+//
+//   alpha_s(a,b) = 1 - P_s(b | a) / c_b
+//
+// where P_s(b|a) is the conditional probability that an s-shell neighbour
+// of an a-atom is a b-atom and c_b the global concentration of b.
+// alpha = 0 for the ideal random solution, < 0 for a-b ordering
+// (preference) and > 0 for clustering (avoidance). The temperature
+// dependence of alpha across the order-disorder transition is one of the
+// paper's phase-transition observables.
+#pragma once
+
+#include <vector>
+
+#include "lattice/configuration.hpp"
+
+namespace dt::lattice {
+
+struct SroMatrix {
+  int n_species = 0;
+  /// Row-major S x S matrix of alpha(a,b) for one shell.
+  std::vector<double> alpha;
+
+  [[nodiscard]] double at(int a, int b) const {
+    return alpha[static_cast<std::size_t>(a) *
+                     static_cast<std::size_t>(n_species) +
+                 static_cast<std::size_t>(b)];
+  }
+};
+
+/// Warren-Cowley parameters of `cfg` for the given shell.
+/// Pairs with zero concentration of either species yield alpha = 0.
+SroMatrix warren_cowley(const Configuration& cfg, int shell);
+
+/// Scalar order parameter: concentration-weighted RMS of the off-diagonal
+/// alpha entries on the given shell -- 0 when fully disordered, grows with
+/// chemical order. Convenient for plotting order vs temperature.
+double sro_magnitude(const Configuration& cfg, int shell);
+
+}  // namespace dt::lattice

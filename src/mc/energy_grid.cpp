@@ -1,0 +1,58 @@
+#include "mc/energy_grid.hpp"
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+
+EnergyGrid::EnergyGrid(double e_min, double e_max, std::int32_t n_bins)
+    : e_min_(e_min),
+      e_max_(e_max),
+      n_bins_(n_bins),
+      width_((e_max - e_min) / static_cast<double>(n_bins)) {
+  DT_CHECK_MSG(e_max > e_min, "empty energy range");
+  DT_CHECK_MSG(n_bins >= 1, "n_bins must be positive");
+}
+
+Histogram::Histogram(const EnergyGrid& grid)
+    : grid_(grid), counts_(static_cast<std::size_t>(grid.n_bins()), 0) {}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void Histogram::restore_counts(std::vector<std::uint64_t> counts) {
+  DT_CHECK_MSG(counts.size() == counts_.size(),
+               "histogram restore: size mismatch");
+  counts_ = std::move(counts);
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+bool Histogram::is_flat(double flatness, std::int32_t lo,
+                        std::int32_t hi) const {
+  return flatness_ratio(lo, hi) >= flatness;
+}
+
+double Histogram::flatness_ratio(std::int32_t lo, std::int32_t hi) const {
+  DT_CHECK(lo >= 0 && hi < grid_.n_bins() && lo <= hi);
+  std::uint64_t min_count = 0;
+  std::uint64_t sum = 0;
+  std::int32_t visited = 0;
+  for (std::int32_t b = lo; b <= hi; ++b) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    if (visited == 0 || c < min_count) min_count = c;
+    sum += c;
+    ++visited;
+  }
+  if (visited < 2) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(visited);
+  return static_cast<double>(min_count) / mean;
+}
+
+}  // namespace dt::mc

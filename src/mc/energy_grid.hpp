@@ -1,0 +1,86 @@
+// Discretisation of the energy axis for flat-histogram sampling.
+//
+// Wang-Landau sampling of an alloy Hamiltonian (continuous couplings)
+// operates on a uniform energy grid; a bin index is the sampler's state
+// label. The grid is shared by histograms, DOS fragments and windows, so
+// bin <-> energy arithmetic lives here exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dt::mc {
+
+class EnergyGrid {
+ public:
+  EnergyGrid() = default;
+
+  /// Grid covering [e_min, e_max] with n_bins uniform bins.
+  EnergyGrid(double e_min, double e_max, std::int32_t n_bins);
+
+  [[nodiscard]] double e_min() const { return e_min_; }
+  [[nodiscard]] double e_max() const { return e_max_; }
+  [[nodiscard]] std::int32_t n_bins() const { return n_bins_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Bin containing `energy`, or -1 if outside [e_min, e_max].
+  [[nodiscard]] std::int32_t bin(double energy) const {
+    if (energy < e_min_ || energy > e_max_) return -1;
+    auto b = static_cast<std::int32_t>((energy - e_min_) / width_);
+    if (b == n_bins_) b = n_bins_ - 1;  // right edge inclusive
+    return b;
+  }
+
+  /// Centre energy of `bin`.
+  [[nodiscard]] double energy(std::int32_t bin) const {
+    return e_min_ + (static_cast<double>(bin) + 0.5) * width_;
+  }
+
+  bool operator==(const EnergyGrid&) const = default;
+
+ private:
+  double e_min_ = 0.0;
+  double e_max_ = 1.0;
+  std::int32_t n_bins_ = 1;
+  double width_ = 1.0;
+};
+
+/// Visit histogram over an EnergyGrid with the Wang-Landau flatness test.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(const EnergyGrid& grid);
+
+  void record(std::int32_t bin) { ++counts_[static_cast<std::size_t>(bin)]; }
+  void reset();
+
+  [[nodiscard]] const EnergyGrid& grid() const { return grid_; }
+  [[nodiscard]] std::uint64_t count(std::int32_t bin) const {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Wang-Landau flatness over the bins in [lo, hi] that have been visited
+  /// at least once in this iteration: min(count) >= flatness * mean(count).
+  /// Returns false when fewer than 2 bins are visited.
+  [[nodiscard]] bool is_flat(double flatness, std::int32_t lo,
+                             std::int32_t hi) const;
+  [[nodiscard]] bool is_flat(double flatness) const {
+    return is_flat(flatness, 0, grid_.n_bins() - 1);
+  }
+
+  /// min(count)/mean(count) over visited bins in [lo, hi]; 0 if none.
+  [[nodiscard]] double flatness_ratio(std::int32_t lo, std::int32_t hi) const;
+
+  /// Raw counts for checkpointing.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  void restore_counts(std::vector<std::uint64_t> counts);
+
+ private:
+  EnergyGrid grid_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace dt::mc

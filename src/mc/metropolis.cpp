@@ -1,0 +1,59 @@
+#include "mc/metropolis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+
+MetropolisSampler::MetropolisSampler(const lattice::EpiHamiltonian& hamiltonian,
+                                     lattice::Configuration& cfg,
+                                     double temperature, Rng rng)
+    : hamiltonian_(&hamiltonian),
+      cfg_(&cfg),
+      temperature_(temperature),
+      energy_(hamiltonian.total_energy(cfg)),
+      rng_(rng) {
+  DT_CHECK_MSG(temperature > 0.0, "temperature must be positive");
+}
+
+void MetropolisSampler::set_temperature(double t) {
+  DT_CHECK_MSG(t > 0.0, "temperature must be positive");
+  temperature_ = t;
+}
+
+bool MetropolisSampler::step(Proposal& proposal) {
+  ++stats_.attempted;
+  const ProposalResult r = proposal.propose(*cfg_, energy_, rng_);
+  if (!r.valid) return false;
+
+  // MH acceptance: ln A = -beta dE + ln q(x|x') - ln q(x'|x).
+  const double log_accept =
+      -r.delta_energy / temperature_ + r.log_q_ratio;
+  if (log_accept >= 0.0 || uniform01(rng_) < std::exp(log_accept)) {
+    energy_ += r.delta_energy;
+    ++stats_.accepted;
+    return true;
+  }
+  proposal.revert(*cfg_);
+  return false;
+}
+
+void MetropolisSampler::sweep(Proposal& proposal) {
+  const auto n = static_cast<std::int64_t>(cfg_->num_sites());
+  for (std::int64_t i = 0; i < n; ++i) step(proposal);
+}
+
+void MetropolisSampler::run(Proposal& proposal, std::int64_t n_sweeps,
+                            const std::function<void(std::int64_t)>& on_sweep) {
+  for (std::int64_t s = 0; s < n_sweeps; ++s) {
+    sweep(proposal);
+    if (on_sweep) on_sweep(s);
+  }
+}
+
+double MetropolisSampler::recompute_energy() const {
+  return hamiltonian_->total_energy(*cfg_);
+}
+
+}  // namespace dt::mc

@@ -1,0 +1,71 @@
+// Canonical (fixed-temperature) Metropolis-Hastings sampler.
+//
+// Used for (a) generating VAE training data at a temperature ladder,
+// (b) the SRO-vs-T phase-transition observable, and (c) cross-checking
+// DOS-reweighted observables against direct sampling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "lattice/configuration.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "mc/proposal.hpp"
+
+namespace dt::mc {
+
+struct MetropolisStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t accepted = 0;
+
+  [[nodiscard]] double acceptance_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(attempted);
+  }
+};
+
+class MetropolisSampler {
+ public:
+  /// Samples exp(-E/T). The configuration is owned by the caller and
+  /// mutated in place; `cfg` must be consistent with `hamiltonian`.
+  MetropolisSampler(const lattice::EpiHamiltonian& hamiltonian,
+                    lattice::Configuration& cfg, double temperature,
+                    Rng rng);
+
+  /// One attempted move. Returns true if accepted.
+  bool step(Proposal& proposal);
+
+  /// One sweep = num_sites attempted moves.
+  void sweep(Proposal& proposal);
+
+  /// Run `n_sweeps` sweeps, invoking `on_sweep` (if set) after each with
+  /// the sweep index.
+  void run(Proposal& proposal, std::int64_t n_sweeps,
+           const std::function<void(std::int64_t)>& on_sweep = {});
+
+  [[nodiscard]] double energy() const { return energy_; }
+  [[nodiscard]] double temperature() const { return temperature_; }
+  void set_temperature(double t);
+  [[nodiscard]] const MetropolisStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] lattice::Configuration& configuration() { return *cfg_; }
+
+  /// Re-derive the cached energy from scratch (bookkeeping audit).
+  [[nodiscard]] double recompute_energy() const;
+
+  /// Overwrite the cached energy -- for replica-exchange drivers that
+  /// swap configurations underneath the sampler. The value must equal
+  /// the true energy of the (externally modified) configuration.
+  void set_energy(double energy) { energy_ = energy; }
+
+ private:
+  const lattice::EpiHamiltonian* hamiltonian_;
+  lattice::Configuration* cfg_;
+  double temperature_;
+  double energy_;
+  Rng rng_;
+  MetropolisStats stats_;
+};
+
+}  // namespace dt::mc

@@ -1,0 +1,96 @@
+#include "mc/multicanonical.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+
+MulticanonicalSampler::MulticanonicalSampler(
+    const lattice::EpiHamiltonian& hamiltonian, lattice::Configuration& cfg,
+    const DensityOfStates& reference, Rng rng)
+    : hamiltonian_(&hamiltonian),
+      cfg_(&cfg),
+      reference_(&reference),
+      histogram_(reference.grid()),
+      rng_(rng),
+      energy_(hamiltonian.total_energy(cfg)) {
+  current_bin_ = reference.grid().bin(energy_);
+  DT_CHECK_MSG(current_bin_ >= 0 && reference.visited(current_bin_),
+               "multicanonical: start energy " << energy_
+                                               << " outside the reference "
+                                                  "DOS support");
+}
+
+bool MulticanonicalSampler::step(Proposal& proposal) {
+  ++stats_.attempted;
+  const ProposalResult r = proposal.propose(*cfg_, energy_, rng_);
+  if (!r.valid) {
+    histogram_.record(current_bin_);
+    return false;
+  }
+  const double new_energy = energy_ + r.delta_energy;
+  const std::int32_t new_bin = reference_->grid().bin(new_energy);
+  if (new_bin < 0 || !reference_->visited(new_bin)) {
+    // Outside the reference support: weights are undefined there, so the
+    // move is rejected (keeps the chain on the sampled manifold).
+    proposal.revert(*cfg_);
+    ++stats_.out_of_support;
+    histogram_.record(current_bin_);
+    return false;
+  }
+  const double log_accept = reference_->log_g(current_bin_) -
+                            reference_->log_g(new_bin) + r.log_q_ratio;
+  if (log_accept >= 0.0 || uniform01(rng_) < std::exp(log_accept)) {
+    energy_ = new_energy;
+    current_bin_ = new_bin;
+    ++stats_.accepted;
+    histogram_.record(current_bin_);
+    return true;
+  }
+  proposal.revert(*cfg_);
+  histogram_.record(current_bin_);
+  return false;
+}
+
+void MulticanonicalSampler::sweep(Proposal& proposal) {
+  const auto n = static_cast<std::int64_t>(cfg_->num_sites());
+  for (std::int64_t i = 0; i < n; ++i) step(proposal);
+}
+
+void MulticanonicalSampler::run(
+    Proposal& proposal, std::int64_t n_sweeps,
+    const std::function<void(const MulticanonicalSampler&)>& on_sweep) {
+  for (std::int64_t s = 0; s < n_sweeps; ++s) {
+    sweep(proposal);
+    if (on_sweep) on_sweep(*this);
+  }
+}
+
+DensityOfStates MulticanonicalSampler::refined_dos() const {
+  DensityOfStates out(reference_->grid());
+  for (std::int32_t b = 0; b < reference_->grid().n_bins(); ++b) {
+    const auto count = histogram_.count(b);
+    if (count == 0 || !reference_->visited(b)) continue;
+    out.set(b, reference_->log_g(b) +
+                   std::log(static_cast<double>(count)));
+  }
+  return out;
+}
+
+double MulticanonicalSampler::flatness() const {
+  std::uint64_t min_count = 0, sum = 0;
+  std::int32_t support = 0;
+  for (std::int32_t b = 0; b < reference_->grid().n_bins(); ++b) {
+    if (!reference_->visited(b)) continue;
+    const auto c = histogram_.count(b);
+    if (support == 0 || c < min_count) min_count = c;
+    sum += c;
+    ++support;
+  }
+  if (support == 0 || sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(support);
+  return static_cast<double>(min_count) / mean;
+}
+
+}  // namespace dt::mc

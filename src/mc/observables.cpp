@@ -1,0 +1,97 @@
+#include "mc/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::mc {
+
+double series_mean(std::span<const double> series) {
+  DT_CHECK(!series.empty());
+  KahanSum sum;
+  for (double x : series) sum.add(x);
+  return sum.value() / static_cast<double>(series.size());
+}
+
+double series_variance(std::span<const double> series) {
+  const double mean = series_mean(series);
+  KahanSum sum;
+  for (double x : series) sum.add((x - mean) * (x - mean));
+  return sum.value() / static_cast<double>(series.size());
+}
+
+BlockingResult blocking_analysis(std::span<const double> series) {
+  DT_CHECK_MSG(series.size() >= 2, "blocking: series too short");
+  BlockingResult result;
+  result.mean = series_mean(series);
+
+  const double var0 = series_variance(series);
+  result.naive_error =
+      std::sqrt(var0 / static_cast<double>(series.size() - 1));
+
+  if (series.size() < 16) {
+    result.error = result.naive_error;
+    result.tau_estimate = 0.5;
+    result.block_errors = {result.naive_error};
+    return result;
+  }
+
+  std::vector<double> level(series.begin(), series.end());
+  double best_error = result.naive_error;
+  while (level.size() >= 8) {
+    const double var = series_variance(level);
+    const double err =
+        std::sqrt(var / static_cast<double>(level.size() - 1));
+    result.block_errors.push_back(err);
+    best_error = std::max(best_error, err);
+    // Pair-average to the next blocking level.
+    std::vector<double> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] = 0.5 * (level[2 * i] + level[2 * i + 1]);
+    level = std::move(next);
+  }
+  result.error = best_error;
+  const double ratio = result.error / result.naive_error;
+  result.tau_estimate = 0.5 * ratio * ratio;
+  return result;
+}
+
+JackknifeResult jackknife(
+    std::span<const double> series, std::size_t n_blocks,
+    const std::function<double(std::span<const double>)>& statistic) {
+  DT_CHECK(n_blocks >= 2);
+  DT_CHECK_MSG(series.size() >= 2 * n_blocks,
+               "jackknife: series too short for " << n_blocks << " blocks");
+
+  JackknifeResult result;
+  result.value = statistic(series);
+
+  const std::size_t n = series.size();
+  std::vector<double> leave_one(n_blocks);
+  std::vector<double> scratch;
+  scratch.reserve(n);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t lo = b * n / n_blocks;
+    const std::size_t hi = (b + 1) * n / n_blocks;
+    scratch.clear();
+    scratch.insert(scratch.end(), series.begin(),
+                   series.begin() + static_cast<std::ptrdiff_t>(lo));
+    scratch.insert(scratch.end(),
+                   series.begin() + static_cast<std::ptrdiff_t>(hi),
+                   series.end());
+    leave_one[b] = statistic(scratch);
+  }
+
+  const double nb = static_cast<double>(n_blocks);
+  double mean = 0;
+  for (double v : leave_one) mean += v;
+  mean /= nb;
+  double var = 0;
+  for (double v : leave_one) var += (v - mean) * (v - mean);
+  result.error = std::sqrt((nb - 1.0) / nb * var);
+  return result;
+}
+
+}  // namespace dt::mc

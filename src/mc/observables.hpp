@@ -1,0 +1,53 @@
+// Error analysis for correlated Monte Carlo time series.
+//
+// Canonical-sampling observables (energies, order parameters) are
+// autocorrelated; naive standard errors underestimate the truth. The
+// standard remedies implemented here:
+//
+//  * blocking (Flyvbjerg-Petersen): recursively pair-average the series;
+//    the block-mean variance plateaus once blocks exceed the correlation
+//    time, giving an unbiased standard error;
+//  * jackknife: leave-one-block-out resampling for the error of any
+//    (possibly nonlinear) function of the mean, e.g. Cv = beta^2 Var(E).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dt::mc {
+
+struct BlockingResult {
+  double mean = 0.0;
+  double error = 0.0;           ///< plateau standard error of the mean
+  double naive_error = 0.0;     ///< uncorrected standard error
+  /// Correlation-time estimate implied by error inflation:
+  /// tau ~ (error/naive_error)^2 / 2 (>= 0.5 for white noise).
+  double tau_estimate = 0.0;
+  std::vector<double> block_errors;  ///< error vs blocking level
+};
+
+/// Flyvbjerg-Petersen blocking analysis. The plateau is taken as the
+/// maximum block-level error whose estimate is still statistically
+/// resolvable (>= 8 blocks). Series shorter than 16 fall back to the
+/// naive error.
+BlockingResult blocking_analysis(std::span<const double> series);
+
+struct JackknifeResult {
+  double value = 0.0;
+  double error = 0.0;
+};
+
+/// Jackknife over `n_blocks` contiguous blocks for a statistic computed
+/// from the whole series. `statistic` receives a sub-series view
+/// (concatenated remaining blocks) and must be a pure function.
+JackknifeResult jackknife(
+    std::span<const double> series, std::size_t n_blocks,
+    const std::function<double(std::span<const double>)>& statistic);
+
+/// Convenience statistics for jackknife use.
+double series_mean(std::span<const double> series);
+double series_variance(std::span<const double> series);  // population
+
+}  // namespace dt::mc

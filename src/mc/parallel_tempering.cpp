@@ -1,0 +1,110 @@
+#include "mc/parallel_tempering.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+
+std::vector<double> geometric_ladder(double t_lo, double t_hi, int n) {
+  DT_CHECK(t_lo > 0.0 && t_hi > t_lo && n >= 2);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[static_cast<std::size_t>(i)] = t_lo * std::pow(t_hi / t_lo, frac);
+  }
+  return out;
+}
+
+ParallelTempering::ParallelTempering(const lattice::EpiHamiltonian& hamiltonian,
+                                     const lattice::Lattice& lat,
+                                     int n_species,
+                                     ParallelTemperingOptions options)
+    : hamiltonian_(&hamiltonian),
+      options_(std::move(options)),
+      exchange_rng_(options_.seed, stream_id(0x5757, 0)) {
+  DT_CHECK_MSG(options_.temperatures.size() >= 2,
+               "parallel tempering needs >= 2 temperatures");
+  for (std::size_t i = 1; i < options_.temperatures.size(); ++i)
+    DT_CHECK_MSG(options_.temperatures[i] > options_.temperatures[i - 1],
+                 "temperature ladder must be strictly ascending");
+  DT_CHECK(options_.exchange_interval >= 1);
+
+  const auto n = options_.temperatures.size();
+  configs_.reserve(n);
+  samplers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng init(options_.seed, stream_id(0x5758, i));
+    configs_.push_back(std::make_unique<lattice::Configuration>(
+        lattice::random_configuration(lat, n_species, init)));
+    samplers_.push_back(std::make_unique<MetropolisSampler>(
+        *hamiltonian_, *configs_.back(), options_.temperatures[i],
+        Rng(options_.seed, stream_id(0x5759, i))));
+  }
+  pair_stats_.resize(n - 1);
+  identity_.resize(n);
+  direction_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    identity_[i] = static_cast<int>(i);
+  direction_[static_cast<std::size_t>(identity_.front())] = +1;
+  direction_[static_cast<std::size_t>(identity_.back())] = -1;
+}
+
+void ParallelTempering::attempt_exchanges() {
+  const int n = n_replicas();
+  // Alternate even/odd pairs so the whole ladder mixes.
+  const int start = static_cast<int>(exchange_parity_ % 2);
+  ++exchange_parity_;
+  for (int i = start; i + 1 < n; i += 2) {
+    auto& lo = *samplers_[static_cast<std::size_t>(i)];
+    auto& hi = *samplers_[static_cast<std::size_t>(i + 1)];
+    auto& stats = pair_stats_[static_cast<std::size_t>(i)];
+    ++stats.attempted;
+
+    const double beta_lo = 1.0 / lo.temperature();
+    const double beta_hi = 1.0 / hi.temperature();
+    const double log_a =
+        (beta_lo - beta_hi) * (lo.energy() - hi.energy());
+    if (log_a >= 0.0 || uniform01(exchange_rng_) < std::exp(log_a)) {
+      ++stats.accepted;
+      // Swap the configurations (samplers keep their temperatures).
+      lattice::Configuration& ca = lo.configuration();
+      lattice::Configuration& cb = hi.configuration();
+      std::vector<std::uint8_t> tmp(ca.occupancy().begin(),
+                                    ca.occupancy().end());
+      const double e_lo = lo.energy();
+      const double e_hi = hi.energy();
+      ca.assign(cb.occupancy());
+      cb.assign(tmp);
+      // Energies travel with the configurations.
+      lo.set_energy(e_hi);
+      hi.set_energy(e_lo);
+      std::swap(identity_[static_cast<std::size_t>(i)],
+                identity_[static_cast<std::size_t>(i + 1)]);
+    }
+  }
+
+  // Round-trip bookkeeping on replica identities.
+  const int bottom = identity_.front();
+  const int top = identity_.back();
+  if (direction_[static_cast<std::size_t>(bottom)] == -1) ++round_trips_;
+  direction_[static_cast<std::size_t>(bottom)] = +1;
+  direction_[static_cast<std::size_t>(top)] = -1;
+}
+
+void ParallelTempering::run(
+    std::int64_t n_sweeps,
+    const std::function<void(int, MetropolisSampler&)>& on_measure) {
+  LocalSwapProposal kernel(*hamiltonian_);
+  for (std::int64_t s = 0; s < n_sweeps; ++s) {
+    for (int i = 0; i < n_replicas(); ++i) {
+      samplers_[static_cast<std::size_t>(i)]->sweep(kernel);
+      if (on_measure)
+        on_measure(i, *samplers_[static_cast<std::size_t>(i)]);
+    }
+    ++sweeps_done_;
+    if (sweeps_done_ % options_.exchange_interval == 0) attempt_exchanges();
+  }
+}
+
+}  // namespace dt::mc

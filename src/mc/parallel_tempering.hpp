@@ -1,0 +1,102 @@
+// Parallel tempering (replica exchange over a temperature ladder) -- the
+// conventional baseline for alloy thermodynamics that DeepThermo's
+// flat-histogram pipeline competes with. Combined with multi-histogram
+// reweighting (mc/reweighting.hpp) it yields an independent estimate of
+// the density of states, used by tests and benches to cross-check the
+// Wang-Landau results.
+//
+// Replicas run canonical Metropolis at fixed temperatures; every
+// `exchange_interval` sweeps adjacent pairs attempt a configuration swap
+// with the standard acceptance
+//
+//   A = min(1, exp[(beta_i - beta_j)(E_i - E_j)]).
+//
+// The driver is single-threaded (replicas advance round-robin): the
+// parallel execution model is exercised by the REWL driver; here the
+// physics baseline is the point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "lattice/hamiltonian.hpp"
+#include "mc/metropolis.hpp"
+
+namespace dt::mc {
+
+struct ParallelTemperingOptions {
+  std::vector<double> temperatures;   ///< ascending, >= 2 entries
+  std::int64_t exchange_interval = 10;
+  std::uint64_t seed = 1;
+};
+
+struct PtPairStats {
+  std::int64_t attempted = 0;
+  std::int64_t accepted = 0;
+
+  [[nodiscard]] double acceptance_rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(accepted) /
+                                static_cast<double>(attempted);
+  }
+};
+
+/// Geometric temperature ladder between t_lo and t_hi (inclusive) --
+/// approximately constant exchange acceptance for typical Cv(T).
+std::vector<double> geometric_ladder(double t_lo, double t_hi, int n);
+
+class ParallelTempering {
+ public:
+  /// Each replica gets an independent random initial configuration.
+  ParallelTempering(const lattice::EpiHamiltonian& hamiltonian,
+                    const lattice::Lattice& lat, int n_species,
+                    ParallelTemperingOptions options);
+
+  [[nodiscard]] int n_replicas() const {
+    return static_cast<int>(options_.temperatures.size());
+  }
+  [[nodiscard]] double temperature(int replica) const {
+    return options_.temperatures[static_cast<std::size_t>(replica)];
+  }
+  [[nodiscard]] MetropolisSampler& replica(int index) {
+    return *samplers_[static_cast<std::size_t>(index)];
+  }
+
+  /// Advance all replicas by `n_sweeps` sweeps with exchanges every
+  /// options.exchange_interval. `on_measure`, when set, fires for every
+  /// replica after each sweep with (replica index, sampler) -- the hook
+  /// used to accumulate histograms/observables.
+  void run(std::int64_t n_sweeps,
+           const std::function<void(int, MetropolisSampler&)>& on_measure = {});
+
+  /// Exchange statistics for the ladder pair (i, i+1).
+  [[nodiscard]] const PtPairStats& pair_stats(int lower_index) const {
+    return pair_stats_[static_cast<std::size_t>(lower_index)];
+  }
+
+  /// Number of completed ladder round trips by any replica identity
+  /// (bottom <-> top), the PT mixing diagnostic.
+  [[nodiscard]] std::int64_t round_trips() const { return round_trips_; }
+
+ private:
+  void attempt_exchanges();
+
+  const lattice::EpiHamiltonian* hamiltonian_;
+  ParallelTemperingOptions options_;
+  std::vector<std::unique_ptr<lattice::Configuration>> configs_;
+  std::vector<std::unique_ptr<MetropolisSampler>> samplers_;
+  std::vector<PtPairStats> pair_stats_;
+  Rng exchange_rng_;
+  std::int64_t sweeps_done_ = 0;
+  std::int64_t exchange_parity_ = 0;
+  // Replica-identity tracking for round trips: identity[i] = which
+  // original replica currently sits at ladder slot i.
+  std::vector<int> identity_;
+  std::vector<int> direction_;  // per identity: +1 heading up, -1 down
+  std::int64_t round_trips_ = 0;
+};
+
+}  // namespace dt::mc

@@ -1,0 +1,67 @@
+#include "mc/thermo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::mc {
+
+ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature) {
+  DT_CHECK_MSG(temperature > 0.0, "temperature must be positive");
+  const double beta = 1.0 / temperature;
+  const EnergyGrid& grid = dos.grid();
+
+  // ln Z and the log-weights; means computed with shifted weights so the
+  // e^10,000-scale DOS never leaves log space.
+  std::vector<double> logw;
+  std::vector<double> energies;
+  logw.reserve(static_cast<std::size_t>(grid.n_bins()));
+  for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
+    if (!dos.visited(b)) continue;
+    logw.push_back(dos.log_g(b) - beta * grid.energy(b));
+    energies.push_back(grid.energy(b));
+  }
+  DT_CHECK_MSG(!logw.empty(), "thermo: empty DOS");
+
+  const double log_z = log_sum_exp(logw);
+
+  KahanSum mean_e, mean_e2;
+  for (std::size_t i = 0; i < logw.size(); ++i) {
+    const double w = std::exp(logw[i] - log_z);
+    mean_e.add(w * energies[i]);
+    mean_e2.add(w * energies[i] * energies[i]);
+  }
+
+  ThermoPoint pt;
+  pt.temperature = temperature;
+  pt.log_z = log_z;
+  pt.internal_energy = mean_e.value();
+  const double var =
+      std::max(0.0, mean_e2.value() - mean_e.value() * mean_e.value());
+  pt.specific_heat = beta * beta * var;
+  pt.free_energy = -temperature * log_z;
+  pt.entropy = (pt.internal_energy - pt.free_energy) / temperature;
+  return pt;
+}
+
+std::vector<ThermoPoint> thermo_scan(const DensityOfStates& dos,
+                                     const std::vector<double>& temperatures) {
+  std::vector<ThermoPoint> out;
+  out.reserve(temperatures.size());
+  for (double t : temperatures) out.push_back(evaluate_thermo(dos, t));
+  return out;
+}
+
+double transition_temperature(const std::vector<ThermoPoint>& scan) {
+  DT_CHECK(!scan.empty());
+  const auto it = std::max_element(
+      scan.begin(), scan.end(), [](const ThermoPoint& a, const ThermoPoint& b) {
+        return a.specific_heat < b.specific_heat;
+      });
+  return it->temperature;
+}
+
+}  // namespace dt::mc

@@ -1,0 +1,39 @@
+// Canonical thermodynamics from a density of states.
+//
+// Given ln g(E) on a grid, every canonical observable at inverse
+// temperature beta follows from log-domain reweighting:
+//
+//   ln Z(beta)  = LSE_E [ ln g(E) - beta E ]
+//   <E>, <E^2>  by the same weights
+//   Cv = beta^2 (<E^2> - <E>^2),  F = -T ln Z,  S = (U - F)/T
+//
+// Units: k_B = 1; temperatures in the same energy units as the Hamiltonian.
+#pragma once
+
+#include <vector>
+
+#include "mc/dos.hpp"
+
+namespace dt::mc {
+
+struct ThermoPoint {
+  double temperature = 0.0;
+  double log_z = 0.0;           ///< ln Z (absolute if DOS was normalized)
+  double internal_energy = 0.0; ///< U = <E>
+  double free_energy = 0.0;     ///< F = -T ln Z
+  double entropy = 0.0;         ///< S = (U - F)/T
+  double specific_heat = 0.0;   ///< Cv = beta^2 Var(E)
+};
+
+/// Observables at a single temperature (T > 0).
+ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature);
+
+/// Observables over a temperature scan.
+std::vector<ThermoPoint> thermo_scan(const DensityOfStates& dos,
+                                     const std::vector<double>& temperatures);
+
+/// Temperature of the specific-heat maximum over a scan -- the standard
+/// finite-size estimate of the order-disorder transition temperature.
+double transition_temperature(const std::vector<ThermoPoint>& scan);
+
+}  // namespace dt::mc

@@ -1,0 +1,81 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               Xoshiro256ss& rng)
+    : in_(in_features), out_(out_features) {
+  DT_CHECK(in_features > 0 && out_features > 0);
+  const float stddev = std::sqrt(
+      2.0f / static_cast<float>(in_features + out_features));
+  weight_ = Tensor::randn({in_, out_}, stddev, rng, /*requires_grad=*/true);
+  bias_ = Tensor::zeros({out_}, /*requires_grad=*/true);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  return tensor::add_rowvec(tensor::matmul(x, weight_), bias_);
+}
+
+std::vector<Tensor> Linear::parameters() const { return {weight_, bias_}; }
+
+Tensor Activation::forward(const Tensor& x) {
+  switch (kind_) {
+    case ActivationKind::kTanh:
+      return tensor::tanh(x);
+    case ActivationKind::kRelu:
+      return tensor::relu(x);
+    case ActivationKind::kSigmoid:
+      return tensor::sigmoid(x);
+  }
+  throw Error("unknown activation kind");
+}
+
+std::string Activation::name() const {
+  switch (kind_) {
+    case ActivationKind::kTanh:
+      return "tanh";
+    case ActivationKind::kRelu:
+      return "relu";
+    case ActivationKind::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+Sequential& Sequential::add(std::unique_ptr<Module> module) {
+  DT_CHECK(module != nullptr);
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& m : modules_) h = m->forward(h);
+  return h;
+}
+
+std::vector<Tensor> Sequential::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& m : modules_) {
+    auto p = m->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::unique_ptr<Sequential> make_mlp(const std::vector<std::int64_t>& sizes,
+                                     ActivationKind act, Xoshiro256ss& rng) {
+  DT_CHECK_MSG(sizes.size() >= 2, "MLP needs at least in/out sizes");
+  auto seq = std::make_unique<Sequential>();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    seq->add(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng));
+    if (i + 2 < sizes.size()) seq->add(std::make_unique<Activation>(act));
+  }
+  return seq;
+}
+
+}  // namespace dt::nn

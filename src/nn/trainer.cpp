@@ -1,0 +1,150 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+
+ConfigDataset::ConfigDataset(std::int32_t n_sites, std::size_t capacity,
+                             std::int32_t condition_dim)
+    : n_sites_(n_sites), condition_dim_(condition_dim), capacity_(capacity) {
+  DT_CHECK(n_sites > 0);
+  DT_CHECK(capacity > 0);
+  DT_CHECK(condition_dim >= 0);
+  storage_.reserve(capacity * static_cast<std::size_t>(n_sites));
+}
+
+void ConfigDataset::add(std::span<const std::uint8_t> occupancy,
+                        Xoshiro256ss& rng, std::span<const float> condition) {
+  DT_CHECK_MSG(occupancy.size() == static_cast<std::size_t>(n_sites_),
+               "dataset sample size mismatch");
+  DT_CHECK_MSG(condition.size() == static_cast<std::size_t>(condition_dim_),
+               "dataset condition size mismatch");
+  ++seen_;
+  const auto n = static_cast<std::size_t>(n_sites_);
+  const auto c = static_cast<std::size_t>(condition_dim_);
+  if (count_ < capacity_) {
+    storage_.insert(storage_.end(), occupancy.begin(), occupancy.end());
+    conditions_.insert(conditions_.end(), condition.begin(), condition.end());
+    ++count_;
+    return;
+  }
+  // Reservoir: replace slot j < capacity with probability capacity/seen.
+  const auto j = uniform_index(rng, seen_);
+  if (j < capacity_) {
+    std::copy(occupancy.begin(), occupancy.end(),
+              storage_.begin() + static_cast<std::ptrdiff_t>(j * n));
+    std::copy(condition.begin(), condition.end(),
+              conditions_.begin() + static_cast<std::ptrdiff_t>(j * c));
+  }
+}
+
+std::span<const std::uint8_t> ConfigDataset::sample(std::size_t i) const {
+  DT_CHECK(i < count_);
+  const auto n = static_cast<std::size_t>(n_sites_);
+  return {storage_.data() + i * n, n};
+}
+
+std::span<const float> ConfigDataset::condition(std::size_t i) const {
+  DT_CHECK(i < count_);
+  const auto c = static_cast<std::size_t>(condition_dim_);
+  return {conditions_.data() + i * c, c};
+}
+
+void ConfigDataset::clear() {
+  storage_.clear();
+  conditions_.clear();
+  count_ = 0;
+  seen_ = 0;
+}
+
+Trainer::Trainer(Vae& vae, TrainOptions options)
+    : vae_(&vae),
+      options_(options),
+      optimizer_(vae.parameters(), options.learning_rate),
+      rng_(options.seed) {
+  DT_CHECK(options.epochs >= 1);
+  DT_CHECK(options.batch_size >= 1);
+}
+
+VaeLossParts Trainer::train_batch(std::span<const std::uint8_t> occupancies,
+                                  std::int64_t batch_size,
+                                  bool defer_optimizer_step,
+                                  std::span<const float> conditions) {
+  const auto n_sites = vae_->options().n_sites;
+  DT_CHECK(static_cast<std::int64_t>(occupancies.size()) ==
+           batch_size * n_sites);
+
+  const std::vector<float> onehot = vae_->one_hot(occupancies, batch_size);
+  const tensor::Tensor batch = tensor::Tensor::from_data(
+      {batch_size, vae_->input_dim()}, onehot);
+  std::vector<std::int32_t> labels(occupancies.size());
+  for (std::size_t i = 0; i < occupancies.size(); ++i)
+    labels[i] = occupancies[i];
+
+  VaeLossParts parts = vae_->loss(batch, labels, rng_, conditions);
+  parts.total.backward();
+  if (!defer_optimizer_step) optimizer_.step();
+  return parts;
+}
+
+void Trainer::apply_step() { optimizer_.step(); }
+
+TrainReport Trainer::fit(const ConfigDataset& dataset) {
+  DT_CHECK_MSG(dataset.size() > 0, "fit() on an empty dataset");
+  DT_CHECK(dataset.n_sites() == vae_->options().n_sites);
+
+  const auto n_samples = dataset.size();
+  const auto n_sites = static_cast<std::size_t>(dataset.n_sites());
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  DT_CHECK_MSG(dataset.condition_dim() == vae_->options().condition_dim,
+               "dataset/VAE condition_dim mismatch");
+
+  TrainReport report;
+  std::vector<std::uint8_t> batch_buf;
+  std::vector<float> cond_buf;
+  for (std::int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates shuffle of the visit order.
+    for (std::size_t i = n_samples - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(uniform_index(rng_, i + 1));
+      std::swap(order[i], order[j]);
+    }
+
+    double loss_acc = 0.0;
+    std::int64_t batches = 0;
+    float last_recon = 0.0f, last_kl = 0.0f;
+    for (std::size_t start = 0; start < n_samples;
+         start += static_cast<std::size_t>(options_.batch_size)) {
+      const std::size_t end = std::min(
+          n_samples, start + static_cast<std::size_t>(options_.batch_size));
+      const auto b = static_cast<std::int64_t>(end - start);
+      batch_buf.clear();
+      cond_buf.clear();
+      for (std::size_t k = start; k < end; ++k) {
+        const auto s = dataset.sample(order[k]);
+        batch_buf.insert(batch_buf.end(), s.begin(), s.end());
+        const auto c = dataset.condition(order[k]);
+        cond_buf.insert(cond_buf.end(), c.begin(), c.end());
+      }
+      const VaeLossParts parts =
+          train_batch(batch_buf, b, /*defer_optimizer_step=*/false, cond_buf);
+      loss_acc += static_cast<double>(parts.total.item());
+      last_recon = parts.reconstruction;
+      last_kl = parts.kl;
+      ++batches;
+      report.samples_seen += b;
+      (void)n_sites;
+    }
+    report.epoch_loss.push_back(
+        static_cast<float>(loss_acc / static_cast<double>(batches)));
+    report.final_reconstruction = last_recon;
+    report.final_kl = last_kl;
+  }
+  return report;
+}
+
+}  // namespace dt::nn

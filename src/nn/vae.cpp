@@ -1,0 +1,205 @@
+#include "nn/vae.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+
+using tensor::Tensor;
+
+Vae::Vae(VaeOptions options, std::uint64_t seed) : options_(options) {
+  DT_CHECK(options_.n_sites > 0);
+  DT_CHECK(options_.n_species >= 2);
+  DT_CHECK(options_.hidden > 0 && options_.latent > 0);
+  DT_CHECK(options_.prob_floor >= 0.0f && options_.prob_floor < 1.0f);
+
+  DT_CHECK(options_.condition_dim >= 0);
+
+  Xoshiro256ss rng(seed);
+  const std::int64_t cond = options_.condition_dim;
+  auto enc = std::make_unique<Sequential>();
+  enc->add(std::make_unique<Linear>(input_dim() + cond, options_.hidden, rng));
+  enc->add(std::make_unique<Activation>(ActivationKind::kTanh));
+  encoder_ = std::move(enc);
+  mu_head_ = std::make_unique<Linear>(options_.hidden, options_.latent, rng);
+  logvar_head_ =
+      std::make_unique<Linear>(options_.hidden, options_.latent, rng);
+
+  auto dec = std::make_unique<Sequential>();
+  dec->add(
+      std::make_unique<Linear>(options_.latent + cond, options_.hidden, rng));
+  dec->add(std::make_unique<Activation>(ActivationKind::kTanh));
+  dec->add(std::make_unique<Linear>(options_.hidden, input_dim(), rng));
+  decoder_ = std::move(dec);
+}
+
+std::vector<Tensor> Vae::parameters() const {
+  std::vector<Tensor> out = encoder_->parameters();
+  auto append = [&out](std::vector<Tensor> more) {
+    out.insert(out.end(), more.begin(), more.end());
+  };
+  append(mu_head_->parameters());
+  append(logvar_head_->parameters());
+  append(decoder_->parameters());
+  return out;
+}
+
+std::int64_t Vae::parameter_count() const {
+  std::int64_t count = 0;
+  for (const auto& p : parameters()) count += p.numel();
+  return count;
+}
+
+std::vector<float> Vae::one_hot(std::span<const std::uint8_t> occupancies,
+                                std::int64_t batch_size) const {
+  const auto n = static_cast<std::size_t>(options_.n_sites);
+  const auto s = static_cast<std::size_t>(options_.n_species);
+  DT_CHECK_MSG(occupancies.size() ==
+                   n * static_cast<std::size_t>(batch_size),
+               "one_hot: occupancy size mismatch");
+  std::vector<float> out(occupancies.size() * s, 0.0f);
+  for (std::size_t i = 0; i < occupancies.size(); ++i) {
+    DT_CHECK(occupancies[i] < s);
+    out[i * s + occupancies[i]] = 1.0f;
+  }
+  return out;
+}
+
+VaeLossParts Vae::loss(const Tensor& batch_onehot,
+                       const std::vector<std::int32_t>& labels,
+                       Xoshiro256ss& eps_rng,
+                       std::span<const float> conditions) {
+  DT_CHECK(batch_onehot.shape().size() == 2);
+  DT_CHECK(batch_onehot.shape()[1] == input_dim());
+  const std::int64_t batch = batch_onehot.shape()[0];
+  DT_CHECK(static_cast<std::int64_t>(labels.size()) ==
+           batch * options_.n_sites);
+  DT_CHECK_MSG(static_cast<std::int64_t>(conditions.size()) ==
+                   batch * options_.condition_dim,
+               "loss(): conditions size must be batch * condition_dim");
+
+  Tensor cond_tensor;
+  Tensor enc_in = batch_onehot;
+  if (options_.condition_dim > 0) {
+    cond_tensor = Tensor::from_data(
+        {batch, options_.condition_dim},
+        std::vector<float>(conditions.begin(), conditions.end()));
+    enc_in = tensor::concat_cols(batch_onehot, cond_tensor);
+  }
+
+  const Tensor h = encoder_->forward(enc_in);
+  const Tensor mu = mu_head_->forward(h);
+  const Tensor logvar = logvar_head_->forward(h);
+
+  // Reparameterisation: z = mu + exp(logvar/2) * eps.
+  const Tensor eps =
+      Tensor::randn({batch, options_.latent}, 1.0f, eps_rng);
+  Tensor z = mu + tensor::exp(tensor::scale(logvar, 0.5f)) * eps;
+  if (options_.condition_dim > 0) z = tensor::concat_cols(z, cond_tensor);
+
+  const Tensor logits = decoder_->forward(z);
+  const Tensor flat =
+      logits.reshape({batch * options_.n_sites, options_.n_species});
+  // cross_entropy is a mean over B*n_sites rows; multiply by n_sites to
+  // get the mean per-sample reconstruction NLL.
+  const Tensor recon = tensor::scale(
+      tensor::cross_entropy_with_logits(flat, labels),
+      static_cast<float>(options_.n_sites));
+
+  // KL(q||N(0,I)) = -1/2 sum(1 + logvar - mu^2 - e^logvar), mean over B.
+  const Tensor kl_terms = tensor::add_scalar(logvar, 1.0f) -
+                          tensor::square(mu) - tensor::exp(logvar);
+  const Tensor kl = tensor::scale(tensor::sum(kl_terms),
+                                  -0.5f / static_cast<float>(batch));
+
+  VaeLossParts parts;
+  parts.total = recon + tensor::scale(kl, options_.kl_weight);
+  parts.reconstruction = recon.item();
+  parts.kl = kl.item();
+  return parts;
+}
+
+std::vector<float> Vae::decode_probs(std::span<const float> z,
+                                     std::span<const float> condition) {
+  DT_CHECK(static_cast<std::int64_t>(z.size()) == options_.latent);
+  DT_CHECK_MSG(static_cast<std::int64_t>(condition.size()) ==
+                   options_.condition_dim,
+               "decode_probs(): condition size must equal condition_dim");
+  std::vector<float> zin(z.begin(), z.end());
+  zin.insert(zin.end(), condition.begin(), condition.end());
+  const Tensor zt = Tensor::from_data(
+      {1, options_.latent + options_.condition_dim}, std::move(zin));
+  const Tensor logits = decoder_->forward(zt);
+  const auto& lv = logits.data();
+
+  const auto n = static_cast<std::size_t>(options_.n_sites);
+  const auto s = static_cast<std::size_t>(options_.n_species);
+  const float floor_each = options_.prob_floor / static_cast<float>(s);
+  std::vector<float> probs(lv.size());
+  for (std::size_t site = 0; site < n; ++site) {
+    const float* block = &lv[site * s];
+    float hi = block[0];
+    for (std::size_t k = 1; k < s; ++k) hi = std::max(hi, block[k]);
+    float zsum = 0.0f;
+    for (std::size_t k = 0; k < s; ++k) zsum += std::exp(block[k] - hi);
+    for (std::size_t k = 0; k < s; ++k) {
+      const float soft = std::exp(block[k] - hi) / zsum;
+      // Mix with uniform: keeps every species reachable (irreducibility)
+      // and bounds the log-density used in the acceptance rule.
+      probs[site * s + k] =
+          (1.0f - options_.prob_floor) * soft + floor_each;
+    }
+  }
+  return probs;
+}
+
+std::vector<float> Vae::encode_mean(std::span<const float> onehot,
+                                    std::span<const float> condition) {
+  DT_CHECK(static_cast<std::int64_t>(onehot.size()) == input_dim());
+  DT_CHECK_MSG(static_cast<std::int64_t>(condition.size()) ==
+                   options_.condition_dim,
+               "encode_mean(): condition size must equal condition_dim");
+  std::vector<float> xin(onehot.begin(), onehot.end());
+  xin.insert(xin.end(), condition.begin(), condition.end());
+  const Tensor x = Tensor::from_data(
+      {1, input_dim() + options_.condition_dim}, std::move(xin));
+  const Tensor mu = mu_head_->forward(encoder_->forward(x));
+  return mu.data();
+}
+
+void Vae::save(std::ostream& os) const {
+  const char magic[8] = {'D', 'T', 'V', 'A', 'E', '0', '0', '1'};
+  os.write(magic, sizeof(magic));
+  for (const auto& p : parameters()) {
+    const auto n = static_cast<std::int64_t>(p.data().size());
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char*>(p.data().data()),
+             static_cast<std::streamsize>(n * static_cast<std::int64_t>(
+                                                  sizeof(float))));
+  }
+  DT_CHECK_MSG(os.good(), "VAE save failed");
+}
+
+void Vae::load(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  DT_CHECK_MSG(is.good() && std::string(magic, 5) == "DTVAE",
+               "VAE load: bad magic");
+  for (auto& p : parameters()) {
+    std::int64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    DT_CHECK_MSG(is.good() && n == static_cast<std::int64_t>(p.data().size()),
+                 "VAE load: parameter size mismatch (" << n << " vs "
+                                                       << p.data().size()
+                                                       << ")");
+    is.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(n * static_cast<std::int64_t>(
+                                                 sizeof(float))));
+    DT_CHECK_MSG(is.good(), "VAE load: truncated stream");
+  }
+}
+
+}  // namespace dt::nn

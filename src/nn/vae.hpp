@@ -1,0 +1,98 @@
+// Variational autoencoder over lattice configurations -- the DeepThermo
+// proposal network.
+//
+// Input/output representation: a configuration of n_sites sites and
+// n_species species is one-hot encoded to a float vector of length
+// n_sites * n_species. The decoder emits one categorical logit block per
+// site; decode_probs() returns floored, renormalised per-site
+// probabilities so the Monte Carlo layer can (a) sample global updates
+// and (b) evaluate the exact proposal density needed for detailed
+// balance (see core/vae_proposal.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dt::nn {
+
+struct VaeOptions {
+  std::int32_t n_sites = 0;
+  std::int32_t n_species = 0;
+  std::int64_t hidden = 128;       ///< encoder/decoder hidden width
+  std::int64_t latent = 16;        ///< latent dimensionality
+  float kl_weight = 1.0f;          ///< beta in beta-VAE terms
+  float prob_floor = 1e-3f;        ///< uniform mixing of decoded categoricals
+  /// > 0 turns the model into a conditional VAE: a condition vector
+  /// (e.g. the normalised target energy of a REWL window) is appended to
+  /// both the encoder input and the latent before decoding, so proposals
+  /// can be steered towards a walker's energy window.
+  std::int32_t condition_dim = 0;
+};
+
+struct VaeLossParts {
+  tensor::Tensor total;      ///< scalar graph node (backprop through this)
+  float reconstruction = 0;  ///< mean per-sample reconstruction NLL
+  float kl = 0;              ///< mean per-sample KL(q(z|x) || N(0,I))
+};
+
+class Vae {
+ public:
+  Vae(VaeOptions options, std::uint64_t seed);
+
+  [[nodiscard]] const VaeOptions& options() const { return options_; }
+  [[nodiscard]] std::int64_t input_dim() const {
+    return static_cast<std::int64_t>(options_.n_sites) * options_.n_species;
+  }
+  [[nodiscard]] std::int64_t latent_dim() const { return options_.latent; }
+
+  [[nodiscard]] std::vector<tensor::Tensor> parameters() const;
+  [[nodiscard]] std::int64_t parameter_count() const;
+
+  /// One-hot encode `batch_size` occupancy vectors laid out back to back
+  /// (each of length n_sites, values in [0, n_species)).
+  [[nodiscard]] std::vector<float> one_hot(
+      std::span<const std::uint8_t> occupancies,
+      std::int64_t batch_size) const;
+
+  /// Build the ELBO loss graph for a one-hot batch of shape
+  /// (B, n_sites*n_species); `labels` are the corresponding species
+  /// indices, length B*n_sites. `eps_rng` drives the reparameterisation
+  /// noise. For a conditional model, `conditions` holds B*condition_dim
+  /// floats (required); it must be empty otherwise.
+  VaeLossParts loss(const tensor::Tensor& batch_onehot,
+                    const std::vector<std::int32_t>& labels,
+                    Xoshiro256ss& eps_rng,
+                    std::span<const float> conditions = {});
+
+  /// Decoder per-site categorical probabilities for a latent vector z
+  /// (length latent). Output: n_sites*n_species probabilities, each site
+  /// block summing to 1, every entry >= prob_floor/n_species.
+  /// `condition` (length condition_dim) is required iff the model is
+  /// conditional.
+  [[nodiscard]] std::vector<float> decode_probs(
+      std::span<const float> z, std::span<const float> condition = {});
+
+  /// Posterior mean of the encoder for one one-hot configuration
+  /// (diagnostics; length latent).
+  [[nodiscard]] std::vector<float> encode_mean(
+      std::span<const float> onehot, std::span<const float> condition = {});
+
+  /// Binary round-trip of all weights (options are caller-managed).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  VaeOptions options_;
+  std::unique_ptr<Sequential> encoder_;   // input -> hidden (activated)
+  std::unique_ptr<Linear> mu_head_;       // hidden -> latent
+  std::unique_ptr<Linear> logvar_head_;   // hidden -> latent
+  std::unique_ptr<Sequential> decoder_;   // latent -> input logits
+};
+
+}  // namespace dt::nn

@@ -1,0 +1,38 @@
+// Data-parallel VAE training over minicomm (the substitution for the
+// paper's distributed PyTorch training of the proposal network).
+//
+// Each rank holds a full model replica (constructed from the same seed,
+// hence bitwise identical) and a local shard of configurations. One
+// training step: local forward/backward, gradient allreduce-average,
+// synchronous optimizer step. Because Adam state starts identical and
+// every rank applies identical averaged gradients, replicas stay in sync
+// without weight broadcasts.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/trainer.hpp"
+#include "par/minicomm.hpp"
+
+namespace dt::par {
+
+struct DdpReport {
+  float mean_loss = 0.0f;       ///< mean total loss over all global batches
+  std::int64_t global_samples = 0;
+  std::int64_t steps = 0;
+};
+
+/// Run `epochs` of synchronous data-parallel training over each rank's
+/// local shard. Ranks may hold different shard sizes; each step consumes
+/// one batch per rank (ranks with exhausted shards recycle from the
+/// start so collectives stay aligned). Collective: every rank of `comm`
+/// must call this together.
+DdpReport ddp_fit(Communicator& comm, nn::Trainer& trainer,
+                  const nn::ConfigDataset& shard, std::int32_t epochs,
+                  std::int32_t batch_size);
+
+/// Average the VAE parameter gradients across ranks in place
+/// (allreduce-sum then scale by 1/size). Exposed for custom loops.
+void allreduce_gradients(Communicator& comm, nn::Vae& vae);
+
+}  // namespace dt::par

@@ -1,0 +1,26 @@
+// Energy-window partitioning for replica-exchange Wang-Landau.
+//
+// The global bin range is split into n_windows windows of equal width
+// whose neighbours overlap by `overlap` of the window width (REWL
+// standard is 0.75). Replica exchange only succeeds inside the overlap,
+// so the partition guarantees every adjacent pair overlaps in >= 2 bins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dt::par {
+
+struct Window {
+  std::int32_t lo_bin = 0;
+  std::int32_t hi_bin = 0;  ///< inclusive
+
+  [[nodiscard]] std::int32_t width() const { return hi_bin - lo_bin + 1; }
+};
+
+/// Overlapping windows covering [0, n_bins). Throws if the geometry is
+/// infeasible (too many windows for the bin count).
+std::vector<Window> make_windows(std::int32_t n_bins, int n_windows,
+                                 double overlap);
+
+}  // namespace dt::par

@@ -1,0 +1,298 @@
+#include "par/rewl.hpp"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "lattice/configuration.hpp"
+#include "mc/proposal.hpp"
+
+namespace dt::par {
+
+namespace {
+
+// Message tags for the exchange protocol (user-level tags are >= 0).
+constexpr int kTagEnergy = 10;
+constexpr int kTagReply = 11;
+constexpr int kTagDecision = 12;
+constexpr int kTagConfigDown = 13;
+constexpr int kTagConfigUp = 14;
+constexpr int kTagDos = 15;
+constexpr int kTagReport = 16;
+
+struct ExchangeStats {
+  std::int64_t attempted = 0;
+  std::int64_t accepted = 0;
+};
+
+/// Serialised per-walker report (trivially copyable for minicomm).
+struct WireReport {
+  std::int64_t sweeps;
+  std::int32_t f_stages;
+  double acceptance;
+  std::uint64_t round_trips;
+  std::int64_t exch_attempted;
+  std::int64_t exch_accepted;
+  std::int32_t converged;
+};
+
+/// DOS wire format: one double per bin, NaN for unvisited.
+std::vector<double> dos_to_wire(const mc::DensityOfStates& dos) {
+  const auto n = static_cast<std::size_t>(dos.grid().n_bins());
+  std::vector<double> wire(n, std::numeric_limits<double>::quiet_NaN());
+  for (std::int32_t b = 0; b < dos.grid().n_bins(); ++b)
+    if (dos.visited(b)) wire[static_cast<std::size_t>(b)] = dos.log_g(b);
+  return wire;
+}
+
+mc::DensityOfStates dos_from_wire(const mc::EnergyGrid& grid,
+                                  std::span<const double> wire) {
+  mc::DensityOfStates dos(grid);
+  for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
+    const double v = wire[static_cast<std::size_t>(b)];
+    if (!std::isnan(v)) dos.set(b, v);
+  }
+  return dos;
+}
+
+}  // namespace
+
+RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
+                    const lattice::Lattice& lat, int n_species,
+                    const mc::EnergyGrid& grid, const RewlOptions& options,
+                    const ProposalFactory& make_proposal,
+                    const IntervalHook& hook) {
+  DT_CHECK(options.n_windows >= 1);
+  DT_CHECK(options.walkers_per_window >= 1);
+  DT_CHECK(options.exchange_interval >= 1);
+
+  const std::vector<Window> windows =
+      make_windows(grid.n_bins(), options.n_windows, options.overlap);
+  const int wpw = options.walkers_per_window;
+
+  RewlResult result;
+  std::mutex result_mutex;  // rank 0 writes once; belt and braces
+  Stopwatch wall;
+
+  run_ranks(options.total_ranks(), [&](Communicator& comm) {
+    const int rank = comm.rank();
+    const int window_id = rank / wpw;
+    const Window& window = windows[static_cast<std::size_t>(window_id)];
+
+    // Independent streams per rank for init / sampling / exchange.
+    mc::Rng init_rng(options.seed, stream_id(static_cast<std::uint64_t>(rank), 0));
+    mc::Rng wl_rng(options.seed, stream_id(static_cast<std::uint64_t>(rank), 1));
+    mc::Rng exch_rng(options.seed, stream_id(static_cast<std::uint64_t>(rank), 2));
+
+    lattice::Configuration cfg =
+        lattice::random_configuration(lat, n_species, init_rng);
+
+    mc::WangLandauOptions wl_opts = options.wl;
+    wl_opts.window_lo_bin = window.lo_bin;
+    wl_opts.window_hi_bin = window.hi_bin;
+    mc::WangLandauSampler walker(hamiltonian, cfg, grid, wl_opts, wl_rng);
+
+    // Seeking uses a plain local-swap kernel: robust regardless of what
+    // the sampling proposal is (an untrained VAE would wander).
+    {
+      mc::LocalSwapProposal seek_kernel(hamiltonian);
+      const bool inside =
+          walker.seek_window(seek_kernel, options.seek_sweeps);
+      DT_CHECK_MSG(inside, "rank " << rank
+                                   << " failed to reach window ["
+                                   << window.lo_bin << ", " << window.hi_bin
+                                   << "]");
+    }
+
+    std::shared_ptr<mc::Proposal> proposal = make_proposal(rank);
+    DT_CHECK(proposal != nullptr);
+
+    ExchangeStats exch;
+    const auto n_sites = static_cast<std::size_t>(lat.num_sites());
+    std::int64_t round = 0;
+
+    for (;;) {
+      walker.advance(*proposal, options.exchange_interval);
+      if (hook) hook(comm, walker, exch_rng);
+
+      // ---- replica exchange between adjacent windows ----
+      // Round parity alternates which window pairs are active:
+      // even rounds pair (0,1),(2,3),..., odd rounds pair (1,2),(3,4),...
+      const bool even_round = (round % 2) == 0;
+      const bool lower_active = even_round ? (window_id % 2 == 0)
+                                           : (window_id % 2 == 1);
+      int partner = -1;
+      bool is_lower = false;
+      if (lower_active && window_id + 1 < options.n_windows) {
+        partner = (window_id + 1) * wpw + (rank % wpw);
+        is_lower = true;
+      } else if (!lower_active && window_id > 0) {
+        partner = (window_id - 1) * wpw + (rank % wpw);
+        is_lower = false;
+      }
+
+      if (partner >= 0) {
+        if (is_lower) {
+          // Protocol: lower sends E_x, upper answers with
+          // (E_y, ln g_j(E_y), ln g_j(E_x)); lower decides.
+          comm.send_value(partner, kTagEnergy, walker.energy());
+          const auto reply = comm.recv<double>(partner, kTagReply);
+          const double e_y = reply[0];
+          const double lgj_ey = reply[1];
+          const double lgj_ex = reply[2];
+          const double lgi_ex = walker.log_g_at(walker.energy());
+          const double lgi_ey = walker.log_g_at(e_y);
+
+          ++exch.attempted;
+          bool accept = false;
+          if (std::isfinite(lgi_ey) && std::isfinite(lgj_ex)) {
+            const double log_a =
+                (lgi_ex - lgi_ey) + (lgj_ey - lgj_ex);
+            accept = log_a >= 0.0 || uniform01(exch_rng) < std::exp(log_a);
+          }
+          comm.send_value<std::uint8_t>(partner, kTagDecision,
+                                        accept ? 1 : 0);
+          if (accept) {
+            ++exch.accepted;
+            comm.send<std::uint8_t>(
+                partner, kTagConfigUp,
+                std::span<const std::uint8_t>(
+                    walker.configuration().occupancy().data(), n_sites));
+            const auto theirs =
+                comm.recv<std::uint8_t>(partner, kTagConfigDown);
+            lattice::Configuration incoming(lat, n_species);
+            incoming.assign(theirs);
+            walker.adopt(incoming, e_y);
+          }
+        } else {
+          const double e_x = comm.recv_value<double>(partner, kTagEnergy);
+          const double reply[3] = {walker.energy(),
+                                   walker.log_g_at(walker.energy()),
+                                   walker.log_g_at(e_x)};
+          comm.send<double>(partner, kTagReply,
+                            std::span<const double>(reply, 3));
+          const auto accept =
+              comm.recv_value<std::uint8_t>(partner, kTagDecision);
+          if (accept != 0) {
+            const auto theirs =
+                comm.recv<std::uint8_t>(partner, kTagConfigUp);
+            comm.send<std::uint8_t>(
+                partner, kTagConfigDown,
+                std::span<const std::uint8_t>(
+                    walker.configuration().occupancy().data(), n_sites));
+            lattice::Configuration incoming(lat, n_species);
+            incoming.assign(theirs);
+            walker.adopt(incoming, e_x);
+          }
+        }
+      }
+      ++round;
+
+      // ---- global convergence check ----
+      const bool done_here = walker.converged() ||
+                             walker.stats().sweeps >= options.max_sweeps;
+      if (comm.allreduce_and(done_here)) break;
+    }
+
+    // ---- assemble: average ln g within each window ----
+    const int leader = window_id * wpw;
+    std::vector<double> wire = dos_to_wire(walker.dos());
+    if (rank == leader) {
+      std::vector<std::vector<double>> fragments;
+      fragments.push_back(std::move(wire));
+      for (int k = 1; k < wpw; ++k)
+        fragments.push_back(comm.recv<double>(leader + k, kTagDos));
+      // Average ln g over the walkers that visited each bin.
+      std::vector<double> avg(static_cast<std::size_t>(grid.n_bins()),
+                              std::numeric_limits<double>::quiet_NaN());
+      for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        double acc = 0.0;
+        int hits = 0;
+        for (const auto& f : fragments) {
+          if (!std::isnan(f[i])) {
+            acc += f[i];
+            ++hits;
+          }
+        }
+        if (hits > 0) avg[i] = acc / hits;
+      }
+
+      if (rank == 0) {
+        std::vector<mc::DensityOfStates> parts;
+        parts.push_back(dos_from_wire(grid, avg));
+        for (int w = 1; w < options.n_windows; ++w) {
+          const auto frag = comm.recv<double>(w * wpw, kTagDos);
+          parts.push_back(dos_from_wire(grid, frag));
+        }
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.dos = mc::DensityOfStates::stitch(parts);
+      } else {
+        comm.send<double>(0, kTagDos,
+                          std::span<const double>(avg.data(), avg.size()));
+      }
+    } else {
+      comm.send<double>(leader, kTagDos,
+                        std::span<const double>(wire.data(), wire.size()));
+    }
+
+    // ---- per-walker reports to rank 0 ----
+    WireReport my_report{walker.stats().sweeps,
+                         walker.stats().f_stages_completed,
+                         walker.stats().acceptance_rate(),
+                         walker.stats().round_trips,
+                         exch.attempted,
+                         exch.accepted,
+                         walker.converged() ? 1 : 0};
+    if (rank == 0) {
+      std::vector<WireReport> reports(
+          static_cast<std::size_t>(options.total_ranks()));
+      reports[0] = my_report;
+      for (int r = 1; r < options.total_ranks(); ++r)
+        reports[static_cast<std::size_t>(r)] =
+            comm.recv_value<WireReport>(r, kTagReport);
+
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.converged = true;
+      result.total_sweeps = 0;
+      result.windows.assign(static_cast<std::size_t>(options.n_windows), {});
+      for (int w = 0; w < options.n_windows; ++w) {
+        RewlWindowReport& wr = result.windows[static_cast<std::size_t>(w)];
+        wr.window = w;
+        wr.lo_bin = windows[static_cast<std::size_t>(w)].lo_bin;
+        wr.hi_bin = windows[static_cast<std::size_t>(w)].hi_bin;
+        std::int64_t exch_att = 0, exch_acc = 0;
+        bool all_conv = true;
+        double acc_rate = 0.0;
+        for (int k = 0; k < wpw; ++k) {
+          const WireReport& r =
+              reports[static_cast<std::size_t>(w * wpw + k)];
+          wr.sweeps += r.sweeps;
+          wr.f_stages = std::max(wr.f_stages, r.f_stages);
+          wr.round_trips += r.round_trips;
+          acc_rate += r.acceptance;
+          exch_att += r.exch_attempted;
+          exch_acc += r.exch_accepted;
+          all_conv = all_conv && r.converged != 0;
+        }
+        wr.acceptance = acc_rate / wpw;
+        wr.exchange_acceptance =
+            exch_att == 0 ? 0.0
+                          : static_cast<double>(exch_acc) /
+                                static_cast<double>(exch_att);
+        wr.converged = all_conv;
+        result.converged = result.converged && all_conv;
+        result.total_sweeps += wr.sweeps;
+      }
+    } else {
+      comm.send_value(0, kTagReport, my_report);
+    }
+  });
+
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dt::par

@@ -1,0 +1,91 @@
+// Replica-exchange Wang-Landau (REWL) driver over minicomm.
+//
+// The global energy range is covered by overlapping windows (Vogel et
+// al., PRL 110, 210603); each window hosts `walkers_per_window`
+// independent Wang-Landau walkers (one rank each). Every
+// `exchange_interval` sweeps, walkers of adjacent windows attempt a
+// configuration exchange with the REWL acceptance
+//
+//   A = min(1, [g_i(E_x) g_j(E_y)] / [g_i(E_y) g_j(E_x)])
+//
+// valid only when both energies lie in both windows (i.e. the overlap).
+// After global convergence, walkers of a window average their ln g and
+// rank 0 stitches the window fragments into the global DOS.
+//
+// An interval hook gives the DeepThermo core a place to harvest
+// configurations and retrain/refresh the VAE proposal mid-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "mc/dos.hpp"
+#include "mc/wang_landau.hpp"
+#include "par/minicomm.hpp"
+#include "par/partition.hpp"
+
+namespace dt::par {
+
+struct RewlOptions {
+  int n_windows = 2;
+  int walkers_per_window = 1;
+  double overlap = 0.75;            ///< REWL standard window overlap
+  mc::WangLandauOptions wl;         ///< window bins are filled in per rank
+  std::int64_t exchange_interval = 100;  ///< sweeps between exchanges
+  std::int64_t max_sweeps = 200000;      ///< per-walker cap
+  std::int64_t seek_sweeps = 2000;       ///< cap for driving into windows
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] int total_ranks() const {
+    return n_windows * walkers_per_window;
+  }
+};
+
+struct RewlWindowReport {
+  int window = 0;
+  std::int32_t lo_bin = 0;
+  std::int32_t hi_bin = 0;
+  std::int64_t sweeps = 0;
+  int f_stages = 0;
+  double acceptance = 0.0;
+  std::uint64_t round_trips = 0;
+  /// Acceptance of exchanges with the *upper* neighbour window
+  /// (meaningless for the last window).
+  double exchange_acceptance = 0.0;
+  bool converged = false;
+};
+
+struct RewlResult {
+  mc::DensityOfStates dos;       ///< stitched global ln g (unnormalised)
+  std::vector<RewlWindowReport> windows;
+  bool converged = false;
+  std::int64_t total_sweeps = 0; ///< summed over all walkers
+  double wall_seconds = 0.0;
+};
+
+/// Per-rank proposal factory; called once on each rank's thread. Shared
+/// ownership lets the caller keep the kernel alive past the run to read
+/// its statistics.
+using ProposalFactory =
+    std::function<std::shared_ptr<mc::Proposal>(int rank)>;
+
+/// Called on every rank after each exchange block, before the exchange.
+/// All ranks call the hook in the same round, so collectives (e.g. a
+/// data-parallel VAE refresh via ddp_fit) are safe inside it.
+using IntervalHook =
+    std::function<void(Communicator& comm, mc::WangLandauSampler& walker,
+                       mc::Rng& rng)>;
+
+/// Run REWL with options.total_ranks() minicomm ranks. Blocks until all
+/// walkers converge or hit max_sweeps; returns the stitched DOS and
+/// per-window reports (assembled on rank 0).
+RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
+                    const lattice::Lattice& lat, int n_species,
+                    const mc::EnergyGrid& grid, const RewlOptions& options,
+                    const ProposalFactory& make_proposal,
+                    const IntervalHook& hook = {});
+
+}  // namespace dt::par

@@ -1,0 +1,54 @@
+// First-order optimizers over a flat parameter list.
+//
+// Parameters are Tensors with requires_grad; step() reads each tensor's
+// gradient buffer and updates its value buffer in place, so the graph
+// built in the next forward pass sees the new weights.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dt::tensor {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+  void zero_grad();
+
+  [[nodiscard]] const std::vector<Tensor>& parameters() const {
+    return params_;
+  }
+
+ protected:
+  explicit Optimizer(std::vector<Tensor> params);
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace dt::tensor

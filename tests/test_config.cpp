@@ -1,0 +1,83 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dt {
+namespace {
+
+TEST(Config, ParsesKeyValueText) {
+  const auto cfg = Config::from_text(
+      "alpha = 1\n"
+      "name= hea  \n"
+      "# a comment\n"
+      "\n"
+      "rate = 0.5 # trailing comment\n");
+  EXPECT_EQ(cfg.get_int("alpha", 0), 1);
+  EXPECT_EQ(cfg.get_string("name", ""), "hea");
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Config, MissingKeysFallBack) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string("nope", "x"), "x");
+  EXPECT_DOUBLE_EQ(cfg.get_double("nope", 1.5), 1.5);
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_FALSE(cfg.has("nope"));
+}
+
+TEST(Config, CommandLineOverrides) {
+  Config cfg = Config::from_text("n = 4\n");
+  const char* argv[] = {"prog", "--n=8", "--verbose", "input.txt"};
+  cfg.update_from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("n", 0), 8);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "input.txt");
+}
+
+TEST(Config, BooleanSpellings) {
+  Config cfg;
+  cfg.set("a", "true");
+  cfg.set("b", "0");
+  cfg.set("c", "yes");
+  cfg.set("d", "off");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, TypeErrorsThrow) {
+  Config cfg;
+  cfg.set("n", "abc");
+  EXPECT_THROW((void)cfg.get_int("n", 0), Error);
+  EXPECT_THROW((void)cfg.get_double("n", 0.0), Error);
+  EXPECT_THROW((void)cfg.get_bool("n", false), Error);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW((void)Config::from_text("just a line without equals\n"), Error);
+}
+
+TEST(Config, ItemsAreSorted) {
+  Config cfg;
+  cfg.set("zeta", "1");
+  cfg.set("alpha", "2");
+  const auto items = cfg.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "alpha");
+  EXPECT_EQ(items[1].first, "zeta");
+}
+
+TEST(Config, LaterSetWins) {
+  Config cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace dt

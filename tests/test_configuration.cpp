@@ -1,0 +1,137 @@
+#include "lattice/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::lattice {
+namespace {
+
+Lattice bcc4() { return Lattice::create(LatticeType::kBCC, 4, 4, 4, 1); }
+
+TEST(Configuration, StartsAllSpeciesZero) {
+  const auto lat = bcc4();
+  const Configuration cfg(lat, 4);
+  EXPECT_EQ(cfg.composition()[0], lat.num_sites());
+  EXPECT_EQ(cfg.composition()[1], 0);
+  for (std::int32_t i = 0; i < lat.num_sites(); ++i)
+    EXPECT_EQ(cfg.at(i), 0);
+}
+
+TEST(Configuration, SetUpdatesComposition) {
+  const auto lat = bcc4();
+  Configuration cfg(lat, 3);
+  cfg.set(0, 2);
+  cfg.set(1, 1);
+  cfg.set(0, 1);  // reassign
+  EXPECT_EQ(cfg.composition()[0], lat.num_sites() - 2);
+  EXPECT_EQ(cfg.composition()[1], 2);
+  EXPECT_EQ(cfg.composition()[2], 0);
+}
+
+TEST(Configuration, SwapPreservesComposition) {
+  const auto lat = bcc4();
+  Configuration cfg(lat, 2);
+  cfg.set(0, 1);
+  const auto before = std::vector<std::int32_t>(cfg.composition().begin(),
+                                                cfg.composition().end());
+  cfg.swap(0, 5);
+  EXPECT_EQ(cfg.at(0), 0);
+  EXPECT_EQ(cfg.at(5), 1);
+  const auto after = std::vector<std::int32_t>(cfg.composition().begin(),
+                                               cfg.composition().end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(Configuration, AssignValidatesAndCounts) {
+  const auto lat = bcc4();
+  Configuration cfg(lat, 2);
+  std::vector<Species> occ(static_cast<std::size_t>(lat.num_sites()), 1);
+  occ[0] = 0;
+  cfg.assign(occ);
+  EXPECT_EQ(cfg.composition()[0], 1);
+  EXPECT_EQ(cfg.composition()[1], lat.num_sites() - 1);
+
+  std::vector<Species> bad(static_cast<std::size_t>(lat.num_sites()), 2);
+  EXPECT_THROW(cfg.assign(bad), dt::Error);  // species out of range
+  std::vector<Species> short_vec(3, 0);
+  EXPECT_THROW(cfg.assign(short_vec), dt::Error);
+}
+
+TEST(Configuration, RandomConfigurationIsEquiatomic) {
+  const auto lat = bcc4();  // 128 sites
+  Xoshiro256ss rng(1);
+  const auto cfg = random_configuration(lat, 4, rng);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(cfg.composition()[static_cast<std::size_t>(s)], 32);
+}
+
+TEST(Configuration, RandomConfigurationHonorsFractions) {
+  const auto lat = bcc4();  // 128 sites
+  Xoshiro256ss rng(2);
+  const std::vector<double> fr = {0.5, 0.25, 0.25};
+  const auto cfg = random_configuration(lat, 3, rng, fr);
+  EXPECT_EQ(cfg.composition()[0], 64);
+  EXPECT_EQ(cfg.composition()[1], 32);
+  EXPECT_EQ(cfg.composition()[2], 32);
+}
+
+TEST(Configuration, FractionRoundingSumsToSites) {
+  const auto lat = Lattice::create(LatticeType::kSimpleCubic, 5, 5, 5, 1);
+  Xoshiro256ss rng(3);
+  const std::vector<double> fr = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const auto cfg = random_configuration(lat, 3, rng, fr);  // 125 sites
+  std::int64_t total = 0;
+  for (auto c : cfg.composition()) total += c;
+  EXPECT_EQ(total, 125);
+}
+
+TEST(Configuration, RandomConfigurationsDifferBySeed) {
+  const auto lat = bcc4();
+  Xoshiro256ss r1(1), r2(2);
+  const auto a = random_configuration(lat, 4, r1);
+  const auto b = random_configuration(lat, 4, r2);
+  EXPECT_FALSE(a == b);
+  Xoshiro256ss r3(1);
+  const auto c = random_configuration(lat, 4, r3);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(Configuration, OrderedB2SublatticesAlternate) {
+  const auto lat = bcc4();
+  const auto cfg = ordered_b2(lat, 2);
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+    const auto [cx, cy, cz, b] = lat.decompose(site);
+    (void)cx;
+    (void)cy;
+    (void)cz;
+    EXPECT_EQ(cfg.at(site), b);
+  }
+  // Every first-shell neighbour of a corner atom is a centre atom.
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site)
+    for (std::int32_t nb : lat.neighbors(site, 0))
+      EXPECT_NE(cfg.at(site), cfg.at(nb));
+}
+
+TEST(Configuration, OrderedB2RequiresBcc) {
+  const auto lat = Lattice::create(LatticeType::kFCC, 4, 4, 4, 1);
+  EXPECT_THROW((void)ordered_b2(lat, 2), dt::Error);
+}
+
+TEST(Configuration, LogStateCountMatchesMultinomial) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);  // 16
+  Xoshiro256ss rng(4);
+  const auto cfg = random_configuration(lat, 2, rng);
+  EXPECT_NEAR(cfg.log_state_count(), std::log(12870.0), 1e-9);  // C(16,8)
+}
+
+TEST(Configuration, RejectsBadSpeciesCount) {
+  const auto lat = bcc4();
+  EXPECT_THROW((void)Configuration(lat, 0), dt::Error);
+  EXPECT_THROW((void)Configuration(lat, 300), dt::Error);
+}
+
+}  // namespace
+}  // namespace dt::lattice

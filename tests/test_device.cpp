@@ -1,0 +1,152 @@
+#include "device/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dt::device {
+namespace {
+
+TEST(DeviceModels, PresetsAreSane) {
+  for (const auto& d : {v100(), mi250x_gcd()}) {
+    EXPECT_GT(d.fp32_tflops, 1.0);
+    EXPECT_GT(d.mem_bandwidth_gbs, 100.0);
+    EXPECT_GT(d.kernel_launch_us, 0.0);
+    EXPECT_GT(d.mc_efficiency, 0.0);
+    EXPECT_LT(d.mc_efficiency, d.gemm_efficiency);
+  }
+  EXPECT_GT(mi250x_gcd().mem_bandwidth_gbs, v100().mem_bandwidth_gbs);
+}
+
+TEST(NetworkModels, PresetsAreSane) {
+  for (const auto& n : {summit_network(), frontier_network()}) {
+    EXPECT_GT(n.bandwidth_gbs, 1.0);
+    EXPECT_GT(n.latency_us, 0.0);
+    EXPECT_GE(n.gpus_per_node, 4);
+    EXPECT_GT(n.intra_bandwidth_gbs, n.bandwidth_gbs);
+    EXPECT_LT(n.intra_latency_us, n.latency_us);
+  }
+}
+
+TEST(Network, P2pTimeScalesWithBytes) {
+  const auto net = summit_network();
+  const double t1 = p2p_time(net, 1e3, false);
+  const double t2 = p2p_time(net, 1e6, false);
+  const double t3 = p2p_time(net, 1e9, false);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  // Small messages are latency-bound.
+  EXPECT_NEAR(t1, net.latency_us * 1e-6, 0.3 * net.latency_us * 1e-6);
+  // Intra-node is faster.
+  EXPECT_LT(p2p_time(net, 1e6, true), p2p_time(net, 1e6, false));
+}
+
+TEST(Network, AllreduceGrowsWithRanks) {
+  const auto net = frontier_network();
+  EXPECT_DOUBLE_EQ(allreduce_time(net, 1e6, 1), 0.0);
+  const double t8 = allreduce_time(net, 1e6, 8);
+  const double t512 = allreduce_time(net, 1e6, 512);
+  const double t3000 = allreduce_time(net, 1e6, 3000);
+  EXPECT_GT(t8, 0.0);
+  EXPECT_LT(t8, t512);
+  EXPECT_LT(t512, t3000);
+}
+
+ScalingWorkload default_workload() { return ScalingWorkload{}; }
+
+TEST(Cluster, KernelTimesArePositiveAndOrdered) {
+  const ClusterSimulator sim(v100(), summit_network());
+  const auto w = default_workload();
+  EXPECT_GT(sim.decode_time(w), 0.0);
+  EXPECT_GT(sim.sweep_time(w), sim.decode_time(w));
+  EXPECT_GT(sim.train_step_time(w), sim.decode_time(w));
+}
+
+TEST(Cluster, Mi250xFasterPerKernelThanV100) {
+  auto w = default_workload();
+  const ClusterSimulator nv(v100(), summit_network());
+  const ClusterSimulator amd(mi250x_gcd(), frontier_network());
+  // GEMM-bound training: more FLOPs win.
+  EXPECT_LT(amd.train_step_time(w), nv.train_step_time(w));
+  // Memory-bound local sweeps (no VAE decodes, large enough that launch
+  // overhead is amortised): more bandwidth wins. With batch-1 decodes
+  // included the higher ROCm launch overhead can flip the comparison.
+  w.global_fraction = 0.0;
+  w.n_sites = 1 << 20;
+  EXPECT_LT(amd.sweep_time(w), nv.sweep_time(w));
+}
+
+TEST(Cluster, StrongScalingSpeedsUpThenSaturates) {
+  const ClusterSimulator sim(v100(), summit_network());
+  const auto pts = sim.sweep_gpus(default_workload(),
+                                  {1, 8, 64, 512, 3000},
+                                  ScalingMode::kStrong);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts[0].speedup, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].speedup, pts[i - 1].speedup)
+        << "no speedup from " << pts[i - 1].n_gpus << " to "
+        << pts[i].n_gpus;
+  }
+  // Parallel efficiency (compute fraction) decays with scale, <= 1.
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-9);
+  EXPECT_LE(pts.back().efficiency, 1.0);
+  EXPECT_LT(pts.back().efficiency, pts.front().efficiency);
+}
+
+TEST(Cluster, CommunicationFractionGrowsAtScale) {
+  const ClusterSimulator sim(v100(), summit_network());
+  const auto pts = sim.sweep_gpus(default_workload(), {1, 64, 3000},
+                                  ScalingMode::kStrong);
+  EXPECT_DOUBLE_EQ(pts[0].comm_fraction, 0.0);  // single GPU: no comm
+  EXPECT_GT(pts[2].comm_fraction, pts[1].comm_fraction);
+}
+
+TEST(Cluster, WeakScalingEfficiencyNearOneThenDecays) {
+  const ClusterSimulator sim(mi250x_gcd(), frontier_network());
+  const auto pts = sim.sweep_gpus(default_workload(), {1, 8, 64, 1024},
+                                  ScalingMode::kWeak);
+  EXPECT_DOUBLE_EQ(pts[0].efficiency, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-9);
+    EXPECT_GT(pts[i].efficiency, 0.3) << "weak scaling collapsed";
+  }
+}
+
+TEST(Cluster, WindowsCapThenWalkersGrow) {
+  const ClusterSimulator sim(v100(), summit_network());
+  auto w = default_workload();
+  w.n_bins = 1000;  // cap windows well below 3000 GPUs
+  const auto small = sim.simulate(w, 4, ScalingMode::kStrong);
+  EXPECT_EQ(small.n_windows, 4);
+  EXPECT_EQ(small.walkers_per_window, 1);
+  const auto big = sim.simulate(w, 3000, ScalingMode::kStrong);
+  EXPECT_LT(big.n_windows, 3000);
+  EXPECT_GT(big.walkers_per_window, 1);
+}
+
+TEST(Cluster, VaeParamsFormula) {
+  ScalingWorkload w;
+  w.n_sites = 16;
+  w.n_species = 4;
+  w.vae_hidden = 24;
+  w.vae_latent = 4;
+  // Matches nn::Vae::parameter_count for the same geometry.
+  const std::int64_t expect = 64 * 24 + 24 + 2 * (24 * 4 + 4) +
+                              (4 * 24 + 24) + (24 * 64 + 64);
+  EXPECT_EQ(w.vae_params(), expect);
+}
+
+TEST(Cluster, RejectsBadInput) {
+  const ClusterSimulator sim(v100(), summit_network());
+  EXPECT_THROW((void)sim.simulate(default_workload(), 0,
+                                  ScalingMode::kStrong),
+               dt::Error);
+  EXPECT_THROW((void)sim.sweep_gpus(default_workload(), {},
+                                    ScalingMode::kStrong),
+               dt::Error);
+}
+
+}  // namespace
+}  // namespace dt::device

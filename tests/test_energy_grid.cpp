@@ -1,0 +1,87 @@
+#include "mc/energy_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+namespace {
+
+TEST(EnergyGrid, BinArithmetic) {
+  const EnergyGrid grid(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(grid.bin_width(), 1.0);
+  EXPECT_EQ(grid.bin(0.0), 0);
+  EXPECT_EQ(grid.bin(0.999), 0);
+  EXPECT_EQ(grid.bin(1.0), 1);
+  EXPECT_EQ(grid.bin(9.5), 9);
+  EXPECT_EQ(grid.bin(10.0), 9);  // right edge inclusive
+}
+
+TEST(EnergyGrid, OutOfRangeIsMinusOne) {
+  const EnergyGrid grid(-5.0, 5.0, 20);
+  EXPECT_EQ(grid.bin(-5.01), -1);
+  EXPECT_EQ(grid.bin(5.01), -1);
+  EXPECT_GE(grid.bin(-5.0), 0);
+}
+
+TEST(EnergyGrid, BinCentreRoundTrip) {
+  const EnergyGrid grid(-3.0, 7.0, 25);
+  for (std::int32_t b = 0; b < grid.n_bins(); ++b)
+    EXPECT_EQ(grid.bin(grid.energy(b)), b);
+}
+
+TEST(EnergyGrid, RejectsDegenerateRange) {
+  EXPECT_THROW((void)EnergyGrid(1.0, 1.0, 5), dt::Error);
+  EXPECT_THROW((void)EnergyGrid(2.0, 1.0, 5), dt::Error);
+  EXPECT_THROW((void)EnergyGrid(0.0, 1.0, 0), dt::Error);
+}
+
+TEST(EnergyGrid, EqualityComparable) {
+  const EnergyGrid a(0.0, 1.0, 10), b(0.0, 1.0, 10), c(0.0, 1.0, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Histogram, RecordAndTotal) {
+  Histogram h{EnergyGrid(0.0, 10.0, 5)};
+  h.record(0);
+  h.record(0);
+  h.record(3);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.total(), 3u);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, FlatnessIgnoresUnvisitedBins) {
+  Histogram h{EnergyGrid(0.0, 10.0, 10)};
+  for (int i = 0; i < 100; ++i) h.record(2);
+  for (int i = 0; i < 90; ++i) h.record(7);
+  // Bins 2 and 7 visited: min=90, mean=95 -> ratio ~0.947.
+  EXPECT_NEAR(h.flatness_ratio(0, 9), 90.0 / 95.0, 1e-12);
+  EXPECT_TRUE(h.is_flat(0.9));
+  EXPECT_FALSE(h.is_flat(0.96));
+}
+
+TEST(Histogram, FlatnessNeedsTwoVisitedBins) {
+  Histogram h{EnergyGrid(0.0, 10.0, 10)};
+  EXPECT_FALSE(h.is_flat(0.1));
+  h.record(4);
+  EXPECT_FALSE(h.is_flat(0.1));
+  h.record(5);
+  EXPECT_TRUE(h.is_flat(0.99));
+}
+
+TEST(Histogram, FlatnessRespectsSubrange) {
+  Histogram h{EnergyGrid(0.0, 10.0, 10)};
+  for (int i = 0; i < 100; ++i) h.record(1);
+  for (int i = 0; i < 100; ++i) h.record(2);
+  h.record(8);  // lone straggler outside the window
+  EXPECT_TRUE(h.is_flat(0.99, 0, 4));
+  EXPECT_FALSE(h.is_flat(0.5, 0, 9));
+}
+
+}  // namespace
+}  // namespace dt::mc

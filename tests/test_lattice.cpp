@@ -1,0 +1,157 @@
+#include "lattice/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dt::lattice {
+namespace {
+
+TEST(Lattice, BasisCounts) {
+  EXPECT_EQ(basis_count(LatticeType::kSimpleCubic), 1);
+  EXPECT_EQ(basis_count(LatticeType::kBCC), 2);
+  EXPECT_EQ(basis_count(LatticeType::kFCC), 4);
+}
+
+TEST(Lattice, SiteCounts) {
+  EXPECT_EQ(Lattice::create(LatticeType::kSimpleCubic, 4, 4, 4, 1).num_sites(),
+            64);
+  EXPECT_EQ(Lattice::create(LatticeType::kBCC, 4, 4, 4, 1).num_sites(), 128);
+  EXPECT_EQ(Lattice::create(LatticeType::kFCC, 4, 4, 4, 1).num_sites(), 256);
+}
+
+// Known coordination numbers of the first shells of the cubic lattices.
+TEST(Lattice, SimpleCubicCoordination) {
+  const auto lat = Lattice::create(LatticeType::kSimpleCubic, 6, 6, 6, 3);
+  EXPECT_EQ(lat.coordination(0), 6);   // <100>
+  EXPECT_EQ(lat.coordination(1), 12);  // <110>
+  EXPECT_EQ(lat.coordination(2), 8);   // <111>
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(0), 1.0);
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(1), 2.0);
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(2), 3.0);
+}
+
+TEST(Lattice, BccCoordination) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 6, 6, 6, 2);
+  EXPECT_EQ(lat.coordination(0), 8);  // <111>/2
+  EXPECT_EQ(lat.coordination(1), 6);  // <100>
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(0), 0.75);
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(1), 1.0);
+}
+
+TEST(Lattice, FccCoordination) {
+  const auto lat = Lattice::create(LatticeType::kFCC, 6, 6, 6, 2);
+  EXPECT_EQ(lat.coordination(0), 12);  // <110>/2
+  EXPECT_EQ(lat.coordination(1), 6);   // <100>
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(0), 0.5);
+  EXPECT_DOUBLE_EQ(lat.shell_distance_sq(1), 1.0);
+}
+
+TEST(Lattice, NeighborRelationIsSymmetric) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 4, 5, 2);
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+    for (int s = 0; s < lat.num_shells(); ++s) {
+      for (std::int32_t nb : lat.neighbors(site, s)) {
+        EXPECT_TRUE(lat.are_neighbors(nb, site, s))
+            << "site " << site << " shell " << s << " nb " << nb;
+      }
+    }
+  }
+}
+
+TEST(Lattice, NeighborsAreDistinctAndNotSelf) {
+  const auto lat = Lattice::create(LatticeType::kFCC, 4, 4, 4, 2);
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+    for (int s = 0; s < lat.num_shells(); ++s) {
+      std::set<std::int32_t> uniq;
+      for (std::int32_t nb : lat.neighbors(site, s)) {
+        EXPECT_NE(nb, site);
+        uniq.insert(nb);
+      }
+      EXPECT_EQ(uniq.size(),
+                static_cast<std::size_t>(lat.coordination(s)));
+    }
+  }
+}
+
+TEST(Lattice, NeighborDistancesMatchShell) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 2);
+  const double n = 4.0;
+  for (std::int32_t site = 0; site < lat.num_sites(); site += 17) {
+    const auto p = lat.position(site);
+    for (int s = 0; s < lat.num_shells(); ++s) {
+      for (std::int32_t nb : lat.neighbors(site, s)) {
+        const auto q = lat.position(nb);
+        double d2 = 0;
+        for (int k = 0; k < 3; ++k) {
+          double d = std::fabs(p[static_cast<std::size_t>(k)] -
+                               q[static_cast<std::size_t>(k)]);
+          d = std::min(d, n - d);  // minimum image
+          d2 += d * d;
+        }
+        EXPECT_NEAR(d2, lat.shell_distance_sq(s), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Lattice, DecomposeRoundTrip) {
+  const auto lat = Lattice::create(LatticeType::kFCC, 3, 4, 5, 1);
+  for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+    const auto [cx, cy, cz, b] = lat.decompose(site);
+    EXPECT_EQ(lat.site_index(cx, cy, cz, b), site);
+  }
+}
+
+TEST(Lattice, SiteIndexWrapsPeriodically) {
+  const auto lat = Lattice::create(LatticeType::kSimpleCubic, 4, 4, 4, 1);
+  EXPECT_EQ(lat.site_index(4, 0, 0, 0), lat.site_index(0, 0, 0, 0));
+  EXPECT_EQ(lat.site_index(-1, 0, 0, 0), lat.site_index(3, 0, 0, 0));
+  EXPECT_EQ(lat.site_index(0, -5, 9, 0), lat.site_index(0, 3, 1, 0));
+}
+
+TEST(Lattice, RejectsTooSmallSupercell) {
+  // A 1-cell dimension makes <100> neighbours wrap onto their own image.
+  EXPECT_THROW((void)Lattice::create(LatticeType::kSimpleCubic, 1, 4, 4, 1),
+               dt::Error);
+}
+
+TEST(Lattice, RejectsBadArguments) {
+  EXPECT_THROW((void)Lattice::create(LatticeType::kBCC, 0, 4, 4, 1),
+               dt::Error);
+  EXPECT_THROW((void)Lattice::create(LatticeType::kBCC, 4, 4, 4, 0),
+               dt::Error);
+  EXPECT_THROW((void)Lattice::create(LatticeType::kBCC, 4, 4, 4, 7),
+               dt::Error);
+}
+
+TEST(Lattice, ToString) {
+  EXPECT_EQ(to_string(LatticeType::kBCC), "bcc");
+  EXPECT_EQ(to_string(LatticeType::kFCC), "fcc");
+  EXPECT_EQ(to_string(LatticeType::kSimpleCubic), "sc");
+}
+
+// Property sweep: total directed bonds = N * z for every lattice type.
+class LatticeTypes : public ::testing::TestWithParam<LatticeType> {};
+
+TEST_P(LatticeTypes, BondCountConsistency) {
+  const auto lat = Lattice::create(GetParam(), 4, 4, 4, 2);
+  for (int s = 0; s < 2; ++s) {
+    std::int64_t directed = 0;
+    for (std::int32_t site = 0; site < lat.num_sites(); ++site)
+      directed += static_cast<std::int64_t>(lat.neighbors(site, s).size());
+    EXPECT_EQ(directed, static_cast<std::int64_t>(lat.num_sites()) *
+                            lat.coordination(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCubic, LatticeTypes,
+                         ::testing::Values(LatticeType::kSimpleCubic,
+                                           LatticeType::kBCC,
+                                           LatticeType::kFCC));
+
+}  // namespace
+}  // namespace dt::lattice

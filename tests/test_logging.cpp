@@ -1,0 +1,65 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace dt {
+namespace {
+
+// The logger writes to stderr; these tests exercise the level gate and
+// thread safety rather than capturing output.
+
+TEST(Log, LevelThresholdRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  DT_LOG_DEBUG << "suppressed " << 42;
+  DT_LOG_INFO << "also suppressed";
+  DT_LOG_WARN << "and this";
+  set_log_level(before);
+}
+
+TEST(Log, ConcurrentLoggingIsSafe) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // keep the test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i)
+        DT_LOG_DEBUG << "thread " << t << " message " << i;
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_log_level(before);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double s = sw.seconds();
+  EXPECT_GE(s, 0.025);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3,
+              0.2 * sw.milliseconds());
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace dt

@@ -1,0 +1,141 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogAdd, MatchesDirectComputation) {
+  EXPECT_NEAR(log_add(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(log_add(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogAdd, HandlesNegativeInfinity) {
+  EXPECT_DOUBLE_EQ(log_add(-kInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add(1.5, -kInf), 1.5);
+  EXPECT_DOUBLE_EQ(log_add(-kInf, -kInf), -kInf);
+}
+
+TEST(LogAdd, NoOverflowForHugeArguments) {
+  const double big = 10000.0;
+  EXPECT_NEAR(log_add(big, big), big + std::log(2.0), 1e-9);
+  EXPECT_NEAR(log_add(big, big - 800.0), big, 1e-12);
+}
+
+TEST(LogSumExp, MatchesPairwise) {
+  const std::vector<double> xs = {0.5, -2.0, 3.0, 1.0};
+  double expect = -kInf;
+  for (double x : xs) expect = log_add(expect, x);
+  EXPECT_NEAR(log_sum_exp(xs), expect, 1e-12);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_DOUBLE_EQ(log_sum_exp({}), -kInf);
+}
+
+TEST(LogSumExp, StableAtE10000Scale) {
+  // The paper's headline DOS range: values spanning ~e^10000.
+  const std::vector<double> xs = {10000.0, 9000.0, 0.0, -5000.0};
+  EXPECT_NEAR(log_sum_exp(xs), 10000.0, 1e-9);
+}
+
+TEST(KahanSum, RecoversSmallIncrements) {
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 10000000; ++i) sum.add(1e-16);
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto xs = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 1.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 3.0);
+  EXPECT_DOUBLE_EQ(xs[2], 2.0);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto xs = linspace(2.5, 9.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 2.5);
+}
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogMultinomial, BinomialCase) {
+  const std::vector<std::size_t> counts = {8, 8};
+  // C(16, 8) = 12870.
+  EXPECT_NEAR(log_multinomial(counts), std::log(12870.0), 1e-9);
+}
+
+TEST(LogMultinomial, QuaternaryEquiatomic) {
+  // 8 sites, 2 each of 4 species: 8!/(2!^4) = 2520.
+  const std::vector<std::size_t> counts = {2, 2, 2, 2};
+  EXPECT_NEAR(log_multinomial(counts), std::log(2520.0), 1e-9);
+}
+
+TEST(Autocorrelation, WhiteNoiseIsNearOne) {
+  Xoshiro256ss g(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = uniform01(g);
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 1.0, 0.3);
+}
+
+TEST(Autocorrelation, Ar1HasKnownTau) {
+  // AR(1) x_t = rho x_{t-1} + eps: tau = (1+rho)/(1-rho).
+  Xoshiro256ss g(6);
+  const double rho = 0.8;
+  std::vector<double> xs(200000);
+  double x = 0;
+  for (auto& v : xs) {
+    x = rho * x + normal01(g);
+    v = x;
+  }
+  const double tau = integrated_autocorrelation_time(xs);
+  EXPECT_NEAR(tau, (1 + rho) / (1 - rho), 2.0);
+}
+
+TEST(Autocorrelation, ShortSeriesFallsBack) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(xs), 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeries) {
+  const std::vector<double> xs(100, 4.2);
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(xs), 1.0);
+}
+
+}  // namespace
+}  // namespace dt

@@ -1,0 +1,141 @@
+#include "mc/metropolis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+TEST(Metropolis, EnergyBookkeepingStaysExact) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 3, 3, 2);
+  const auto ham = lattice::random_epi(4, 2, 0.2, 5);
+  Rng rng(1, 0);
+  auto cfg = lattice::random_configuration(lat, 4, rng);
+  MetropolisSampler sampler(ham, cfg, 0.1, Rng(1, 1));
+  LocalSwapProposal prop(ham);
+  sampler.run(prop, 50);
+  EXPECT_NEAR(sampler.energy(), sampler.recompute_energy(), 1e-7);
+}
+
+TEST(Metropolis, SweepAttemptsEqualSiteCount) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 3, 3, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  Rng rng(2, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 1.0, Rng(2, 1));
+  LocalSwapProposal prop(ham);
+  sampler.sweep(prop);
+  EXPECT_EQ(sampler.stats().attempted,
+            static_cast<std::uint64_t>(lat.num_sites()));
+}
+
+TEST(Metropolis, HighTemperatureAcceptsAlmostEverything) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 3, 3, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  Rng rng(3, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 1e6, Rng(3, 1));
+  LocalSwapProposal prop(ham);
+  sampler.run(prop, 20);
+  EXPECT_GT(sampler.stats().acceptance_rate(), 0.999);
+}
+
+TEST(Metropolis, LowTemperatureQuenchesTowardsOrder) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 1);
+  // Antiferromagnetic Ising: B2 ground state reachable by swaps.
+  const lattice::EpiHamiltonian ham(2, {{1.0, -1.0, -1.0, 1.0}});
+  Rng rng(4, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 0.05, Rng(4, 1));
+  const double e0 = sampler.energy();
+  LocalSwapProposal prop(ham);
+  sampler.run(prop, 200);
+  EXPECT_LT(sampler.energy(), e0 - 0.2 * std::fabs(e0));
+}
+
+TEST(Metropolis, MeanEnergyMatchesExactEnumeration) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const int n = lat.num_sites();
+  const double temperature = 12.0;
+
+  double z = 0.0, mean_exact = 0.0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != n / 2) continue;
+    Configuration cfg(lat, 2);
+    for (int i = 0; i < n; ++i)
+      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+    const double e = ham.total_energy(cfg);
+    const double w = std::exp(-e / temperature);
+    z += w;
+    mean_exact += e * w;
+  }
+  mean_exact /= z;
+
+  Rng rng(5, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, temperature, Rng(5, 1));
+  LocalSwapProposal prop(ham);
+  sampler.run(prop, 200);  // burn-in
+  double acc = 0;
+  const int sweeps = 8000;
+  for (int s = 0; s < sweeps; ++s) {
+    sampler.sweep(prop);
+    acc += sampler.energy();
+  }
+  EXPECT_NEAR(acc / sweeps, mean_exact, 0.25);
+}
+
+TEST(Metropolis, TemperatureUpdateValidated) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  Rng rng(6, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 1.0, Rng(6, 1));
+  sampler.set_temperature(2.5);
+  EXPECT_DOUBLE_EQ(sampler.temperature(), 2.5);
+  EXPECT_THROW(sampler.set_temperature(0.0), dt::Error);
+  EXPECT_THROW((void)MetropolisSampler(ham, cfg, -1.0, Rng(6, 2)),
+               dt::Error);
+}
+
+TEST(Metropolis, ResetStatsClearsCounters) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  Rng rng(7, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 1.0, Rng(7, 1));
+  LocalSwapProposal prop(ham);
+  sampler.run(prop, 3);
+  EXPECT_GT(sampler.stats().attempted, 0u);
+  sampler.reset_stats();
+  EXPECT_EQ(sampler.stats().attempted, 0u);
+  EXPECT_EQ(sampler.stats().accepted, 0u);
+}
+
+TEST(Metropolis, OnSweepCallbackFires) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  Rng rng(8, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  MetropolisSampler sampler(ham, cfg, 1.0, Rng(8, 1));
+  LocalSwapProposal prop(ham);
+  std::int64_t calls = 0, last = -1;
+  sampler.run(prop, 5, [&](std::int64_t s) {
+    ++calls;
+    last = s;
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(last, 4);
+}
+
+}  // namespace
+}  // namespace dt::mc

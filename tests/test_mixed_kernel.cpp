@@ -1,0 +1,138 @@
+#include "core/mixed_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "mc/metropolis.hpp"
+
+namespace dt::core {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+std::shared_ptr<nn::Vae> make_vae(std::int32_t n_sites, int n_species,
+                                  std::uint64_t seed) {
+  nn::VaeOptions o;
+  o.n_sites = n_sites;
+  o.n_species = n_species;
+  o.hidden = 24;
+  o.latent = 4;
+  return std::make_shared<nn::Vae>(o, seed);
+}
+
+TEST(DeepThermoKernel, DispatchStatisticsMatchFraction) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  DeepThermoProposal kernel(ham, make_vae(lat.num_sites(), 2, 1), 0.2);
+
+  mc::Rng rng(2, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    (void)kernel.propose(cfg, ham.total_energy(cfg), rng);
+    kernel.revert(cfg);
+  }
+  const double vae_fraction =
+      static_cast<double>(kernel.vae_stats().proposed) / n;
+  EXPECT_NEAR(vae_fraction, 0.2, 0.03);
+  EXPECT_EQ(kernel.vae_stats().proposed + kernel.local_stats().proposed,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(DeepThermoKernel, PureLocalAndPureGlobalLimits) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  mc::Rng rng(3, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+
+  DeepThermoProposal all_local(ham, make_vae(lat.num_sites(), 2, 2), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    (void)all_local.propose(cfg, 0.0, rng);
+    all_local.revert(cfg);
+  }
+  EXPECT_EQ(all_local.vae_stats().proposed, 0u);
+  EXPECT_EQ(all_local.local_stats().proposed, 100u);
+
+  DeepThermoProposal all_global(ham, make_vae(lat.num_sites(), 2, 3), 1.0);
+  for (int i = 0; i < 50; ++i) {
+    (void)all_global.propose(cfg, ham.total_energy(cfg), rng);
+    all_global.revert(cfg);
+  }
+  EXPECT_EQ(all_global.vae_stats().proposed, 50u);
+  EXPECT_EQ(all_global.local_stats().proposed, 0u);
+}
+
+TEST(DeepThermoKernel, RevertAlwaysRestores) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  DeepThermoProposal kernel(ham, make_vae(lat.num_sites(), 4, 4), 0.5);
+  mc::Rng rng(5, 0);
+  auto cfg = lattice::random_configuration(lat, 4, rng);
+  const std::vector<std::uint8_t> snapshot(cfg.occupancy().begin(),
+                                           cfg.occupancy().end());
+  for (int i = 0; i < 200; ++i) {
+    (void)kernel.propose(cfg, ham.total_energy(cfg), rng);
+    kernel.revert(cfg);
+    const std::vector<std::uint8_t> now(cfg.occupancy().begin(),
+                                        cfg.occupancy().end());
+    ASSERT_EQ(now, snapshot) << "iteration " << i;
+  }
+}
+
+TEST(DeepThermoKernel, RejectsBadFraction) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  EXPECT_THROW(
+      (void)DeepThermoProposal(ham, make_vae(lat.num_sites(), 2, 6), 1.5),
+      dt::Error);
+}
+
+// Mixture correctness: the mixed kernel must also sample Boltzmann
+// exactly (components are individually valid and selection is
+// state-independent).
+TEST(DeepThermoKernel, MixedKernelSamplesBoltzmann) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const int n = lat.num_sites();
+  const double temperature = 8.0;
+
+  std::map<long long, double> weight;
+  double z = 0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != n / 2) continue;
+    Configuration c(lat, 2);
+    for (int i = 0; i < n; ++i)
+      c.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+    const double e = ham.total_energy(c);
+    const double w = std::exp(-e / temperature);
+    weight[std::llround(4 * e)] += w;
+    z += w;
+  }
+
+  DeepThermoProposal kernel(ham, make_vae(n, 2, 7), 0.3);
+  mc::Rng rng(8, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(8, 1));
+
+  std::map<long long, double> counts;
+  const int steps = 150000;
+  for (int s = 0; s < 2000; ++s) sampler.step(kernel);
+  for (int s = 0; s < steps; ++s) {
+    sampler.step(kernel);
+    counts[std::llround(4 * sampler.energy())] += 1.0;
+  }
+  for (const auto& [k, w] : weight) {
+    EXPECT_NEAR((counts.count(k) ? counts[k] : 0.0) / steps, w / z, 0.012)
+        << "level " << k / 4.0;
+  }
+}
+
+}  // namespace
+}  // namespace dt::core

@@ -1,0 +1,82 @@
+#include "mc/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dt::mc {
+namespace {
+
+TEST(SeriesStats, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(series_mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(series_variance(xs), 1.25);  // population variance
+}
+
+TEST(Blocking, WhiteNoiseErrorMatchesNaive) {
+  Xoshiro256ss rng(1);
+  std::vector<double> xs(16384);
+  for (auto& x : xs) x = normal01(rng);
+  const auto r = blocking_analysis(xs);
+  EXPECT_NEAR(r.mean, 0.0, 0.03);
+  // Uncorrelated data: blocking and naive errors agree within noise.
+  EXPECT_NEAR(r.error / r.naive_error, 1.0, 0.35);
+  EXPECT_LT(r.tau_estimate, 1.2);
+}
+
+TEST(Blocking, Ar1ErrorInflatesByTau) {
+  // AR(1) with rho: tau_int = (1+rho)/(1-rho)/2 blocks of correlation;
+  // the blocking error must exceed the naive one by ~sqrt(2 tau).
+  Xoshiro256ss rng(2);
+  const double rho = 0.9;
+  std::vector<double> xs(65536);
+  double x = 0;
+  for (auto& v : xs) {
+    x = rho * x + normal01(rng);
+    v = x;
+  }
+  const auto r = blocking_analysis(xs);
+  const double tau = (1 + rho) / (1 - rho) / 2.0;  // ~9.5
+  EXPECT_GT(r.error, 2.5 * r.naive_error);
+  EXPECT_NEAR(r.tau_estimate, tau, 0.6 * tau);
+}
+
+TEST(Blocking, ShortSeriesFallsBack) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto r = blocking_analysis(xs);
+  EXPECT_DOUBLE_EQ(r.error, r.naive_error);
+  EXPECT_THROW((void)blocking_analysis(std::vector<double>{1.0}), dt::Error);
+}
+
+TEST(Jackknife, MeanErrorMatchesClassic) {
+  Xoshiro256ss rng(3);
+  std::vector<double> xs(4096);
+  for (auto& v : xs) v = 3.0 + 2.0 * normal01(rng);
+  const auto r = jackknife(xs, 32, series_mean);
+  EXPECT_NEAR(r.value, 3.0, 0.15);
+  // Classic SEM = sigma/sqrt(N) = 2/64.
+  EXPECT_NEAR(r.error, 2.0 / 64.0, 0.012);
+}
+
+TEST(Jackknife, NonlinearStatisticVariance) {
+  Xoshiro256ss rng(4);
+  std::vector<double> xs(8192);
+  for (auto& v : xs) v = normal01(rng);
+  const auto r = jackknife(xs, 16, series_variance);
+  EXPECT_NEAR(r.value, 1.0, 0.08);
+  // Var of sample variance of N normals ~ 2/N -> error ~ sqrt(2/8192).
+  EXPECT_NEAR(r.error, std::sqrt(2.0 / 8192.0), 0.01);
+}
+
+TEST(Jackknife, ValidatesInput) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_THROW((void)jackknife(xs, 2, series_mean), dt::Error);
+  const std::vector<double> ok(64, 1.0);
+  EXPECT_THROW((void)jackknife(ok, 1, series_mean), dt::Error);
+}
+
+}  // namespace
+}  // namespace dt::mc

@@ -1,0 +1,163 @@
+#include "mc/parallel_tempering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+TEST(GeometricLadder, EndpointsAndMonotone) {
+  const auto ladder = geometric_ladder(0.1, 10.0, 5);
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.front(), 0.1);
+  EXPECT_NEAR(ladder.back(), 10.0, 1e-12);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i], ladder[i - 1]);
+    // Geometric: constant ratio.
+    EXPECT_NEAR(ladder[i] / ladder[i - 1], std::pow(100.0, 0.25), 1e-9);
+  }
+}
+
+TEST(GeometricLadder, RejectsBadArguments) {
+  EXPECT_THROW((void)geometric_ladder(0.0, 1.0, 3), dt::Error);
+  EXPECT_THROW((void)geometric_ladder(2.0, 1.0, 3), dt::Error);
+  EXPECT_THROW((void)geometric_ladder(1.0, 2.0, 1), dt::Error);
+}
+
+ParallelTemperingOptions small_ladder() {
+  ParallelTemperingOptions opts;
+  opts.temperatures = geometric_ladder(2.0, 30.0, 4);
+  opts.exchange_interval = 5;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(ParallelTempering, ValidatesOptions) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  ParallelTemperingOptions opts;
+  opts.temperatures = {1.0};
+  EXPECT_THROW((void)ParallelTempering(ham, lat, 2, opts), dt::Error);
+  opts.temperatures = {2.0, 1.0};
+  EXPECT_THROW((void)ParallelTempering(ham, lat, 2, opts), dt::Error);
+}
+
+TEST(ParallelTempering, EnergyBookkeepingSurvivesExchanges) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  ParallelTempering pt(ham, lat, 2, small_ladder());
+  pt.run(200);
+  for (int i = 0; i < pt.n_replicas(); ++i) {
+    EXPECT_NEAR(pt.replica(i).energy(), pt.replica(i).recompute_energy(),
+                1e-7)
+        << "replica " << i;
+  }
+}
+
+TEST(ParallelTempering, ExchangesHappen) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  ParallelTempering pt(ham, lat, 2, small_ladder());
+  pt.run(500);
+  std::int64_t attempted = 0, accepted = 0;
+  for (int i = 0; i + 1 < pt.n_replicas(); ++i) {
+    attempted += pt.pair_stats(i).attempted;
+    accepted += pt.pair_stats(i).accepted;
+  }
+  EXPECT_GT(attempted, 0);
+  EXPECT_GT(accepted, 0);
+  // A geometric ladder on a small system exchanges frequently.
+  EXPECT_GT(static_cast<double>(accepted) / static_cast<double>(attempted),
+            0.2);
+  EXPECT_GT(pt.round_trips(), 0);
+}
+
+TEST(ParallelTempering, ColdReplicaOrdersHotReplicaDisorders) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 3, 3, 1);
+  // Antiferromagnetic: ground state is B2-ordered.
+  const lattice::EpiHamiltonian ham(2, {{1.0, -1.0, -1.0, 1.0}});
+  ParallelTemperingOptions opts;
+  opts.temperatures = geometric_ladder(0.5, 50.0, 5);
+  opts.seed = 7;
+  ParallelTempering pt(ham, lat, 2, opts);
+  pt.run(400);
+  EXPECT_LT(pt.replica(0).energy(), pt.replica(4).energy());
+  // Cold replica near the ground state (E_min = -bonds).
+  const double e_min = -static_cast<double>(ham.bond_count(lat));
+  EXPECT_LT(pt.replica(0).energy(), 0.6 * e_min);
+}
+
+// The decisive check: PT sampling of the enumerable Ising system matches
+// exact Boltzmann marginals at EVERY ladder temperature simultaneously.
+TEST(ParallelTempering, MatchesExactBoltzmannAtAllTemperatures) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const int n = lat.num_sites();
+
+  ParallelTemperingOptions opts;
+  opts.temperatures = {6.0, 12.0, 24.0};
+  opts.exchange_interval = 5;
+  opts.seed = 11;
+  ParallelTempering pt(ham, lat, 2, opts);
+
+  // Exact energy distributions per temperature.
+  std::vector<std::map<long long, double>> exact(3);
+  std::vector<double> z(3, 0.0);
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != n / 2) continue;
+    Configuration cfg(lat, 2);
+    for (int i = 0; i < n; ++i)
+      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+    const double e = ham.total_energy(cfg);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double w = std::exp(-e / opts.temperatures[k]);
+      exact[k][std::llround(4 * e)] += w;
+      z[k] += w;
+    }
+  }
+
+  pt.run(200);  // burn-in
+  std::vector<std::map<long long, double>> counts(3);
+  std::vector<double> totals(3, 0.0);
+  pt.run(20000, [&](int replica, MetropolisSampler& sampler) {
+    counts[static_cast<std::size_t>(replica)]
+          [std::llround(4 * sampler.energy())] += 1.0;
+    totals[static_cast<std::size_t>(replica)] += 1.0;
+  });
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (const auto& [level, w] : exact[k]) {
+      const double expect = w / z[k];
+      const double got =
+          (counts[k].count(level) ? counts[k][level] : 0.0) / totals[k];
+      EXPECT_NEAR(got, expect, 0.02)
+          << "T=" << opts.temperatures[k] << " level " << level / 4.0;
+    }
+  }
+}
+
+TEST(ParallelTempering, DeterministicForSeed) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  auto run = [&] {
+    ParallelTempering pt(ham, lat, 2, small_ladder());
+    pt.run(100);
+    std::vector<double> energies;
+    for (int i = 0; i < pt.n_replicas(); ++i)
+      energies.push_back(pt.replica(i).energy());
+    return energies;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dt::mc

@@ -1,0 +1,62 @@
+#include "par/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dt::par {
+namespace {
+
+TEST(Partition, SingleWindowCoversEverything) {
+  const auto w = make_windows(100, 1, 0.75);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].lo_bin, 0);
+  EXPECT_EQ(w[0].hi_bin, 99);
+}
+
+TEST(Partition, CoversFullRangeWithoutGaps) {
+  for (int n_windows : {2, 3, 5, 8}) {
+    const auto w = make_windows(500, n_windows, 0.75);
+    ASSERT_EQ(static_cast<int>(w.size()), n_windows);
+    EXPECT_EQ(w.front().lo_bin, 0);
+    EXPECT_EQ(w.back().hi_bin, 499);
+    for (std::size_t k = 1; k < w.size(); ++k) {
+      EXPECT_LE(w[k].lo_bin, w[k - 1].hi_bin - 1)
+          << "windows " << k - 1 << "/" << k << " for n=" << n_windows;
+      EXPECT_GT(w[k].lo_bin, w[k - 1].lo_bin);
+      EXPECT_GT(w[k].hi_bin, w[k - 1].hi_bin);
+    }
+  }
+}
+
+TEST(Partition, OverlapFractionApproximatelyHonored) {
+  const auto w = make_windows(1000, 4, 0.75);
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double shared = w[k - 1].hi_bin - w[k].lo_bin + 1;
+    const double width = w[k].width();
+    EXPECT_NEAR(shared / width, 0.75, 0.05);
+  }
+}
+
+TEST(Partition, ZeroOverlapIsRejected) {
+  // Replica exchange requires a shared region; disjoint tilings are a
+  // configuration error, not a silent degradation.
+  EXPECT_THROW((void)make_windows(100, 4, 0.0), dt::Error);
+}
+
+TEST(Partition, EqualWidthsWithinRounding) {
+  const auto w = make_windows(730, 6, 0.6);
+  for (std::size_t k = 1; k < w.size(); ++k)
+    EXPECT_NEAR(w[k].width(), w[0].width(), 2);
+}
+
+TEST(Partition, RejectsInfeasibleGeometry) {
+  EXPECT_THROW((void)make_windows(10, 8, 0.75), dt::Error);
+  EXPECT_THROW((void)make_windows(100, 2, 1.0), dt::Error);
+  EXPECT_THROW((void)make_windows(100, 2, -0.1), dt::Error);
+  EXPECT_THROW((void)make_windows(0, 1, 0.5), dt::Error);
+  EXPECT_THROW((void)make_windows(100, 0, 0.5), dt::Error);
+}
+
+}  // namespace
+}  // namespace dt::par

@@ -1,0 +1,169 @@
+#include "mc/reweighting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "mc/parallel_tempering.hpp"
+#include "mc/thermo.hpp"
+
+namespace dt::mc {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+TEST(Wham, ValidatesInput) {
+  const EnergyGrid grid(0.0, 10.0, 10);
+  std::vector<Histogram> hs;
+  EXPECT_THROW((void)wham(grid, hs, {}), dt::Error);
+  hs.emplace_back(grid);
+  EXPECT_THROW((void)wham(grid, hs, {1.0, 2.0}), dt::Error);  // count mismatch
+  EXPECT_THROW((void)wham(grid, hs, {1.0}), dt::Error);       // empty histogram
+  hs[0].record(0);
+  EXPECT_THROW((void)wham(grid, hs, {-1.0}), dt::Error);      // bad T
+}
+
+TEST(Wham, SingleHistogramRecoversBoltzmannInversion) {
+  // Synthetic: known g(E), sample counts proportional to g e^{-bE}.
+  const EnergyGrid grid(-0.5, 4.5, 5);  // centres 0..4
+  const std::vector<double> g = {1, 10, 40, 10, 1};
+  const double t = 2.0;
+  Histogram h(grid);
+  for (std::int32_t b = 0; b < 5; ++b) {
+    const auto count = static_cast<std::uint64_t>(std::llround(
+        1e6 * g[static_cast<std::size_t>(b)] *
+        std::exp(-grid.energy(b) / t)));
+    for (std::uint64_t c = 0; c < count; ++c) h.record(b);
+  }
+  const auto result = wham(grid, {h}, {t});
+  EXPECT_TRUE(result.converged);
+  // ln g recovered up to a constant.
+  const double offset = result.dos.log_g(0) - std::log(g[0]);
+  for (std::int32_t b = 0; b < 5; ++b)
+    EXPECT_NEAR(result.dos.log_g(b), std::log(g[static_cast<std::size_t>(b)]) + offset,
+                1e-3)
+        << "bin " << b;
+}
+
+TEST(Wham, CombinesTwoSyntheticHistogramsConsistently) {
+  const EnergyGrid grid(-0.5, 9.5, 10);
+  std::vector<double> log_g_true(10);
+  for (int b = 0; b < 10; ++b)
+    log_g_true[static_cast<std::size_t>(b)] =
+        10.0 - 0.3 * (b - 5.0) * (b - 5.0);
+
+  auto make_hist = [&](double t) {
+    Histogram h(grid);
+    for (std::int32_t b = 0; b < 10; ++b) {
+      const double lw = log_g_true[static_cast<std::size_t>(b)] -
+                        grid.energy(b) / t;
+      const auto count =
+          static_cast<std::uint64_t>(std::llround(2e5 * std::exp(lw - 10.0)));
+      for (std::uint64_t c = 0; c < count; ++c) h.record(b);
+    }
+    return h;
+  };
+  // A cold histogram covers the low bins, a hot one the high bins.
+  const std::vector<double> temps = {1.0, 8.0};
+  const std::vector<Histogram> hs = {make_hist(temps[0]),
+                                     make_hist(temps[1])};
+  const auto result = wham(grid, hs, temps);
+  ASSERT_TRUE(result.converged);
+
+  // Compare shapes where both histograms carry data.
+  double offset = 0;
+  int n_off = 0;
+  for (std::int32_t b = 0; b < 10; ++b) {
+    if (!result.dos.visited(b)) continue;
+    offset += result.dos.log_g(b) - log_g_true[static_cast<std::size_t>(b)];
+    ++n_off;
+  }
+  ASSERT_GT(n_off, 5);
+  offset /= n_off;
+  for (std::int32_t b = 0; b < 10; ++b) {
+    if (!result.dos.visited(b)) continue;
+    EXPECT_NEAR(result.dos.log_g(b),
+                log_g_true[static_cast<std::size_t>(b)] + offset, 0.15)
+        << "bin " << b;
+  }
+}
+
+// End-to-end baseline pipeline: PT + WHAM vs exact enumeration -- the
+// conventional route DeepThermo replaces must itself be correct here.
+TEST(Wham, PtPlusWhamMatchesExactDos) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const int n = lat.num_sites();
+
+  std::map<long long, double> exact;
+  double e_min = 1e300, e_max = -1e300;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != n / 2) continue;
+    Configuration cfg(lat, 2);
+    for (int i = 0; i < n; ++i)
+      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+    const double e = ham.total_energy(cfg);
+    exact[std::llround(4 * e)] += 1.0;
+    e_min = std::min(e_min, e);
+    e_max = std::max(e_max, e);
+  }
+  double total = 0;
+  for (auto& [k, c] : exact) total += c;
+
+  const EnergyGrid grid(e_min - 0.5, e_max + 0.5, 131);
+  ParallelTemperingOptions opts;
+  opts.temperatures = geometric_ladder(1.5, 120.0, 8);
+  opts.exchange_interval = 5;
+  opts.seed = 17;
+  ParallelTempering pt(ham, lat, 2, opts);
+
+  std::vector<Histogram> hs(8, Histogram(grid));
+  pt.run(300);  // burn-in
+  pt.run(15000, [&](int replica, MetropolisSampler& sampler) {
+    const auto bin = grid.bin(sampler.energy());
+    ASSERT_GE(bin, 0);
+    hs[static_cast<std::size_t>(replica)].record(bin);
+  });
+
+  auto result = wham(grid, hs, opts.temperatures);
+  ASSERT_TRUE(result.converged);
+  result.dos.normalize(std::log(total));
+
+  for (const auto& [k, count] : exact) {
+    const auto bin = grid.bin(k / 4.0);
+    ASSERT_TRUE(result.dos.visited(bin)) << "level " << k / 4.0;
+    // Rare levels (the 2-state extreme) are visited only a handful of
+    // times even by the hottest replica; Poisson noise dominates there.
+    const double tol = count < 10 ? 1.5 : 0.35;
+    EXPECT_NEAR(result.dos.log_g(bin), std::log(count), tol)
+        << "level " << k / 4.0;
+  }
+
+  // Thermodynamics from the WHAM DOS behave.
+  const auto pt_scan = thermo_scan(result.dos, {3.0, 6.0, 12.0});
+  for (const auto& point : pt_scan) {
+    EXPECT_GE(point.specific_heat, 0.0);
+    EXPECT_TRUE(std::isfinite(point.internal_energy));
+  }
+}
+
+TEST(Wham, LogZOrderingIsPhysical) {
+  // Hotter ensembles have larger Z (more accessible states).
+  const EnergyGrid grid(-0.5, 9.5, 10);
+  Histogram h1(grid), h2(grid);
+  for (std::int32_t b = 0; b < 10; ++b) {
+    for (int c = 0; c < 1000 / (b + 1); ++c) h1.record(b);
+    for (int c = 0; c < 500 + 10 * b; ++c) h2.record(b);
+  }
+  const auto result = wham(grid, {h1, h2}, {1.0, 5.0});
+  ASSERT_EQ(result.log_z.size(), 2u);
+  EXPECT_GT(result.log_z[1] + 1e-12, result.log_z[0]);
+}
+
+}  // namespace
+}  // namespace dt::mc

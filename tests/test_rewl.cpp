@@ -1,0 +1,194 @@
+#include "par/rewl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "mc/proposal.hpp"
+
+namespace dt::par {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+struct ExactIsing {
+  Lattice lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  lattice::EpiHamiltonian ham = lattice::epi_ising(1.0);
+  std::map<long long, double> levels;
+  double e_min = 1e300, e_max = -1e300, total = 0;
+
+  ExactIsing() {
+    const int n = lat.num_sites();
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      if (std::popcount(mask) != n / 2) continue;
+      Configuration cfg(lat, 2);
+      for (int i = 0; i < n; ++i)
+        cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+      const double e = ham.total_energy(cfg);
+      levels[std::llround(4 * e)] += 1.0;
+      e_min = std::min(e_min, e);
+      e_max = std::max(e_max, e);
+      total += 1.0;
+    }
+  }
+};
+
+const ExactIsing& exact() {
+  static const ExactIsing instance;
+  return instance;
+}
+
+RewlOptions fast_options() {
+  RewlOptions opts;
+  opts.n_windows = 2;
+  opts.walkers_per_window = 1;
+  opts.wl.log_f_final = 1e-4;
+  opts.exchange_interval = 25;
+  opts.max_sweeps = 100000;
+  opts.seed = 3;
+  return opts;
+}
+
+ProposalFactory local_factory(const lattice::EpiHamiltonian& ham) {
+  return [&ham](int) { return std::make_shared<mc::LocalSwapProposal>(ham); };
+}
+
+TEST(Rewl, RecoversExactDos) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 130);
+  const auto result = run_rewl(ex.ham, ex.lat, 2, grid, fast_options(),
+                               local_factory(ex.ham));
+  ASSERT_TRUE(result.converged);
+
+  auto dos = result.dos;
+  dos.normalize(std::log(ex.total));
+  for (const auto& [k, count] : ex.levels) {
+    const std::int32_t bin = grid.bin(k / 4.0);
+    ASSERT_TRUE(dos.visited(bin)) << "level " << k / 4.0;
+    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.3) << "level " << k / 4.0;
+  }
+}
+
+TEST(Rewl, MultipleWalkersPerWindow) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 100);
+  auto opts = fast_options();
+  opts.walkers_per_window = 2;
+  opts.wl.log_f_final = 1e-3;
+  const auto result =
+      run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
+  ASSERT_TRUE(result.converged);
+
+  auto dos = result.dos;
+  dos.normalize(std::log(ex.total));
+  for (const auto& [k, count] : ex.levels) {
+    const std::int32_t bin = grid.bin(k / 4.0);
+    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.4);
+  }
+}
+
+TEST(Rewl, ThreeWindowsConverge) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 130);
+  auto opts = fast_options();
+  opts.n_windows = 3;
+  opts.wl.log_f_final = 1e-4;
+  const auto result =
+      run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.windows.size(), 3u);
+  auto dos = result.dos;
+  dos.normalize(std::log(ex.total));
+  for (const auto& [k, count] : ex.levels) {
+    EXPECT_NEAR(dos.log_g(grid.bin(k / 4.0)), std::log(count), 0.5);
+  }
+}
+
+TEST(Rewl, WindowReportsArePopulated) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 100);
+  auto opts = fast_options();
+  opts.wl.log_f_final = 1e-3;
+  const auto result =
+      run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
+  ASSERT_EQ(result.windows.size(), 2u);
+  for (const auto& w : result.windows) {
+    EXPECT_GT(w.sweeps, 0);
+    EXPECT_GT(w.f_stages, 0);
+    EXPECT_GT(w.acceptance, 0.0);
+    EXPECT_TRUE(w.converged);
+  }
+  // Lower window exchanges with its upper neighbour.
+  EXPECT_GT(result.windows[0].exchange_acceptance, 0.0);
+  EXPECT_GT(result.total_sweeps, 0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Rewl, HookIsCalledEveryInterval) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 100);
+  auto opts = fast_options();
+  opts.wl.log_f_final = 1e-2;
+  std::atomic<std::int64_t> hook_calls{0};
+  const auto result = run_rewl(
+      ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham),
+      [&](Communicator&, mc::WangLandauSampler& walker, mc::Rng&) {
+        ++hook_calls;
+        EXPECT_GE(walker.stats().sweeps, opts.exchange_interval);
+      });
+  ASSERT_TRUE(result.converged);
+  // Every rank calls the hook once per exchange round.
+  EXPECT_GE(hook_calls.load(), 2);
+  EXPECT_EQ(hook_calls.load() % opts.total_ranks(), 0);
+}
+
+TEST(Rewl, DeterministicForFixedSeed) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 100);
+  auto opts = fast_options();
+  opts.wl.log_f_final = 1e-2;
+  auto run = [&] {
+    const auto r = run_rewl(ex.ham, ex.lat, 2, grid, opts,
+                            local_factory(ex.ham));
+    std::vector<double> vals;
+    for (std::int32_t b = 0; b < grid.n_bins(); ++b)
+      if (r.dos.visited(b)) vals.push_back(r.dos.log_g(b));
+    return vals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Rewl, MatchesSingleWindowWangLandau) {
+  // One window, one walker == plain WL driven through the parallel path.
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 120);
+  auto opts = fast_options();
+  opts.n_windows = 1;
+  const auto result =
+      run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
+  ASSERT_TRUE(result.converged);
+  auto dos = result.dos;
+  dos.normalize(std::log(ex.total));
+  for (const auto& [k, count] : ex.levels)
+    EXPECT_NEAR(dos.log_g(grid.bin(k / 4.0)), std::log(count), 0.3);
+}
+
+TEST(Rewl, RespectsMaxSweepsWhenUnconverged) {
+  const auto& ex = exact();
+  const mc::EnergyGrid grid(ex.e_min - 0.5, ex.e_max + 0.5, 100);
+  auto opts = fast_options();
+  opts.wl.log_f_final = 1e-12;  // unreachable in the budget
+  opts.max_sweeps = 500;
+  const auto result =
+      run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
+  EXPECT_FALSE(result.converged);
+  for (const auto& w : result.windows)
+    EXPECT_LE(w.sweeps, 2 * (opts.max_sweeps + opts.exchange_interval));
+}
+
+}  // namespace
+}  // namespace dt::par

@@ -1,0 +1,67 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dt {
+namespace {
+
+TEST(Serialize, PodRoundTrip) {
+  std::stringstream ss;
+  write_pod(ss, 42);
+  write_pod(ss, 3.25);
+  write_pod(ss, std::uint8_t{7});
+  EXPECT_EQ(read_pod<int>(ss), 42);
+  EXPECT_DOUBLE_EQ(read_pod<double>(ss), 3.25);
+  EXPECT_EQ(read_pod<std::uint8_t>(ss), 7);
+}
+
+TEST(Serialize, StructRoundTrip) {
+  struct Pod {
+    int a;
+    double b;
+    bool operator==(const Pod&) const = default;
+  };
+  const Pod in{5, -1.5};
+  std::stringstream ss;
+  write_pod(ss, in);
+  EXPECT_EQ(read_pod<Pod>(ss), in);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  const std::vector<float> in = {1.5f, -2.0f, 0.0f};
+  std::stringstream ss;
+  write_vector(ss, in);
+  EXPECT_EQ(read_vector<float>(ss), in);
+}
+
+TEST(Serialize, EmptyVector) {
+  std::stringstream ss;
+  write_vector(ss, std::vector<double>{});
+  EXPECT_TRUE(read_vector<double>(ss).empty());
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  write_pod(ss, 1.0);
+  (void)read_pod<double>(ss);
+  EXPECT_THROW((void)read_pod<double>(ss), Error);
+
+  std::stringstream ss2;
+  write_pod<std::uint64_t>(ss2, 100);  // claims 100 elements, has none
+  EXPECT_THROW((void)read_vector<int>(ss2), Error);
+}
+
+TEST(Serialize, SequentialMixedPayloads) {
+  std::stringstream ss;
+  write_pod(ss, 'x');
+  write_vector(ss, std::vector<int>{1, 2, 3});
+  write_pod(ss, 9.0f);
+  EXPECT_EQ(read_pod<char>(ss), 'x');
+  EXPECT_EQ(read_vector<int>(ss), (std::vector<int>{1, 2, 3}));
+  EXPECT_FLOAT_EQ(read_pod<float>(ss), 9.0f);
+}
+
+}  // namespace
+}  // namespace dt

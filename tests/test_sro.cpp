@@ -1,0 +1,106 @@
+#include "lattice/sro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dt::lattice {
+namespace {
+
+TEST(WarrenCowley, B2OrderIsMinusOneOffDiagonal) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 2);
+  const auto cfg = ordered_b2(lat, 2);
+  const SroMatrix m = warren_cowley(cfg, 0);
+  // Perfect B2: every first-shell neighbour is the other species.
+  // alpha(a,b) = 1 - P(b|a)/c_b = 1 - 1/0.5 = -1 for a != b,
+  // and 1 - 0 = +1 for a == b.
+  EXPECT_NEAR(m.at(0, 1), -1.0, 1e-12);
+  EXPECT_NEAR(m.at(1, 0), -1.0, 1e-12);
+  EXPECT_NEAR(m.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(1, 1), 1.0, 1e-12);
+}
+
+TEST(WarrenCowley, B2SecondShellIsClustered) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 2);
+  const auto cfg = ordered_b2(lat, 2);
+  const SroMatrix m = warren_cowley(cfg, 1);
+  // Second shell (<100>) connects same sublattice: all like pairs.
+  EXPECT_NEAR(m.at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(m.at(0, 0), -1.0, 1e-12);
+}
+
+TEST(WarrenCowley, RandomSolutionNearZero) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 6, 6, 6, 1);
+  Xoshiro256ss rng(3);
+  // Average over several random configurations: alpha -> 0.
+  double acc = 0;
+  const int reps = 20;
+  for (int r = 0; r < reps; ++r) {
+    const auto cfg = random_configuration(lat, 4, rng);
+    const SroMatrix m = warren_cowley(cfg, 0);
+    acc += m.at(0, 1);
+  }
+  EXPECT_NEAR(acc / reps, 0.0, 0.02);
+}
+
+TEST(WarrenCowley, RowIdentityHolds) {
+  // sum_b c_b alpha(a,b) = 0 identically (conservation of neighbours).
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 2);
+  Xoshiro256ss rng(9);
+  const auto cfg = random_configuration(lat, 4, rng);
+  const double n = cfg.num_sites();
+  for (int shell = 0; shell < 2; ++shell) {
+    const SroMatrix m = warren_cowley(cfg, shell);
+    for (int a = 0; a < 4; ++a) {
+      double acc = 0;
+      for (int b = 0; b < 4; ++b) {
+        const double c_b =
+            cfg.composition()[static_cast<std::size_t>(b)] / n;
+        acc += c_b * m.at(a, b);
+      }
+      EXPECT_NEAR(acc, 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SroMagnitude, ZeroForRandomOneForB2) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 6, 6, 6, 1);
+  const auto ordered = ordered_b2(lat, 2);
+  EXPECT_NEAR(sro_magnitude(ordered, 0), 1.0, 1e-12);
+
+  Xoshiro256ss rng(4);
+  const auto random_cfg = random_configuration(lat, 2, rng);
+  EXPECT_LT(sro_magnitude(random_cfg, 0), 0.15);
+}
+
+TEST(SroMagnitude, MonotoneUnderPartialDisorder) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 1);
+  auto cfg = ordered_b2(lat, 2);
+  const double full_order = sro_magnitude(cfg, 0);
+  // Scramble a fraction of sites.
+  Xoshiro256ss rng(5);
+  for (int k = 0; k < 30; ++k) {
+    const auto a = static_cast<std::int32_t>(
+        uniform_index(rng, static_cast<std::uint64_t>(lat.num_sites())));
+    const auto b = static_cast<std::int32_t>(
+        uniform_index(rng, static_cast<std::uint64_t>(lat.num_sites())));
+    cfg.swap(a, b);
+  }
+  const double partial = sro_magnitude(cfg, 0);
+  EXPECT_LT(partial, full_order);
+  EXPECT_GT(partial, 0.1);
+}
+
+TEST(WarrenCowley, MissingSpeciesYieldsZeroRows) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 1);
+  const Configuration cfg(lat, 3);  // species 1, 2 absent
+  const SroMatrix m = warren_cowley(cfg, 0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace dt::lattice

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dt {
+namespace {
+
+TEST(Table, AddTypedCells) {
+  Table t({"name", "count", "value"});
+  t.add("a", 3, 1.5);
+  t.add(std::string("b"), std::int64_t{-2}, 0.25f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(0)[0], "a");
+  EXPECT_EQ(t.row(0)[1], "3");
+  EXPECT_EQ(t.row(1)[1], "-2");
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "longer"});
+  t.add("aaaa", 1);
+  std::ostringstream os;
+  t.print(os, "Title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| x    | longer |"), std::string::npos);
+  EXPECT_NE(out.find("| aaaa | 1      |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add("has,comma", "has\"quote");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  Table t({"h1", "h2"});
+  t.add(1, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str().substr(0, 6), "h1,h2\n");
+}
+
+TEST(Table, DoubleFormatting) {
+  EXPECT_EQ(Table::format_cell(0.5), "0.5");
+  EXPECT_EQ(Table::format_cell(1e6), "1e+06");
+  EXPECT_EQ(Table::format_cell(std::nan("")), "nan");
+}
+
+}  // namespace
+}  // namespace dt

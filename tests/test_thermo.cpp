@@ -1,0 +1,130 @@
+#include "mc/thermo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::mc {
+namespace {
+
+/// Two-level system: g0 states at E=0, g1 at E=e1. All observables are
+/// analytic.
+DensityOfStates two_level(double g0, double g1, double e1,
+                          const EnergyGrid& grid) {
+  DensityOfStates dos(grid);
+  dos.set(grid.bin(0.0), std::log(g0));
+  dos.set(grid.bin(e1), std::log(g1));
+  return dos;
+}
+
+TEST(Thermo, TwoLevelSystemExact) {
+  // Grid bins centred exactly on the two levels.
+  const EnergyGrid grid(-0.5, 1.5, 2);  // centres at 0.0 and 1.0
+  const double g0 = 2.0, g1 = 6.0, e1 = 1.0;
+  const auto dos = two_level(g0, g1, e1, grid);
+
+  for (double t : {0.3, 0.7, 1.0, 2.5}) {
+    const double beta = 1.0 / t;
+    const double z = g0 + g1 * std::exp(-beta * e1);
+    const double p1 = g1 * std::exp(-beta * e1) / z;
+    const ThermoPoint pt = evaluate_thermo(dos, t);
+    EXPECT_NEAR(pt.log_z, std::log(z), 1e-10) << "T=" << t;
+    EXPECT_NEAR(pt.internal_energy, p1 * e1, 1e-10);
+    EXPECT_NEAR(pt.specific_heat, beta * beta * (p1 - p1 * p1) * e1 * e1,
+                1e-10);
+    EXPECT_NEAR(pt.free_energy, -t * std::log(z), 1e-10);
+    EXPECT_NEAR(pt.entropy, (pt.internal_energy - pt.free_energy) / t,
+                1e-10);
+  }
+}
+
+TEST(Thermo, HighTemperatureEntropyLimit) {
+  const EnergyGrid grid(-0.5, 1.5, 2);
+  const auto dos = two_level(3.0, 5.0, 1.0, grid);
+  const ThermoPoint pt = evaluate_thermo(dos, 1e6);
+  EXPECT_NEAR(pt.entropy, std::log(8.0), 1e-4);  // ln(total states)
+}
+
+TEST(Thermo, LowTemperatureGroundStateLimit) {
+  const EnergyGrid grid(-0.5, 1.5, 2);
+  const auto dos = two_level(3.0, 5.0, 1.0, grid);
+  const ThermoPoint pt = evaluate_thermo(dos, 0.01);
+  EXPECT_NEAR(pt.internal_energy, 0.0, 1e-10);
+  EXPECT_NEAR(pt.entropy, std::log(3.0), 1e-10);  // ground degeneracy
+  EXPECT_NEAR(pt.specific_heat, 0.0, 1e-10);
+}
+
+TEST(Thermo, WorksAtE10000Scale) {
+  // ln g values at the paper's scale must not overflow.
+  const EnergyGrid grid(-0.5, 1.5, 2);
+  DensityOfStates dos(grid);
+  dos.set(0, 5000.0);
+  dos.set(1, 10000.0);
+  const ThermoPoint pt = evaluate_thermo(dos, 1.0);
+  EXPECT_TRUE(std::isfinite(pt.log_z));
+  EXPECT_TRUE(std::isfinite(pt.internal_energy));
+  EXPECT_TRUE(std::isfinite(pt.specific_heat));
+  EXPECT_GT(pt.log_z, 9000.0);
+}
+
+TEST(Thermo, SpecificHeatNonNegativeAcrossScan) {
+  const EnergyGrid grid(0.0, 10.0, 50);
+  DensityOfStates dos(grid);
+  for (std::int32_t b = 0; b < 50; ++b) {
+    const double x = (b - 25.0) / 10.0;
+    dos.set(b, 30.0 - x * x * 5.0);
+  }
+  const auto scan = thermo_scan(dos, linspace(0.05, 5.0, 60));
+  for (const auto& pt : scan) {
+    EXPECT_GE(pt.specific_heat, 0.0);
+    EXPECT_NEAR(pt.free_energy,
+                pt.internal_energy - pt.temperature * pt.entropy, 1e-8);
+  }
+}
+
+TEST(Thermo, EntropyMonotoneInTemperature) {
+  const EnergyGrid grid(0.0, 10.0, 50);
+  DensityOfStates dos(grid);
+  for (std::int32_t b = 0; b < 50; ++b)
+    dos.set(b, 20.0 - 0.02 * (b - 25.0) * (b - 25.0));
+  const auto scan = thermo_scan(dos, linspace(0.1, 5.0, 30));
+  for (std::size_t i = 1; i < scan.size(); ++i)
+    EXPECT_GE(scan[i].entropy + 1e-10, scan[i - 1].entropy);
+}
+
+TEST(Thermo, TransitionTemperatureFindsCvPeak) {
+  // Two-level system Cv peaks at the Schottky anomaly; just verify the
+  // reported Tc matches the scan's argmax.
+  const EnergyGrid grid(-0.5, 1.5, 2);
+  const auto dos = two_level(1.0, 10.0, 1.0, grid);
+  const auto scan = thermo_scan(dos, linspace(0.05, 3.0, 200));
+  const double tc = transition_temperature(scan);
+  double best_cv = -1, best_t = 0;
+  for (const auto& pt : scan) {
+    if (pt.specific_heat > best_cv) {
+      best_cv = pt.specific_heat;
+      best_t = pt.temperature;
+    }
+  }
+  EXPECT_DOUBLE_EQ(tc, best_t);
+  EXPECT_GT(tc, 0.1);
+  EXPECT_LT(tc, 1.0);
+}
+
+TEST(Thermo, RejectsNonPositiveTemperature) {
+  const EnergyGrid grid(-0.5, 1.5, 2);
+  const auto dos = two_level(1.0, 1.0, 1.0, grid);
+  EXPECT_THROW((void)evaluate_thermo(dos, 0.0), dt::Error);
+  EXPECT_THROW((void)evaluate_thermo(dos, -1.0), dt::Error);
+}
+
+TEST(Thermo, EmptyDosThrows) {
+  DensityOfStates dos{EnergyGrid(0.0, 1.0, 4)};
+  EXPECT_THROW((void)evaluate_thermo(dos, 1.0), dt::Error);
+}
+
+}  // namespace
+}  // namespace dt::mc

@@ -1,0 +1,149 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dt::nn {
+namespace {
+
+VaeOptions small_opts() {
+  VaeOptions o;
+  o.n_sites = 16;
+  o.n_species = 4;
+  o.hidden = 24;
+  o.latent = 4;
+  return o;
+}
+
+std::vector<std::uint8_t> striped_sample(int offset) {
+  std::vector<std::uint8_t> occ(16);
+  for (int i = 0; i < 16; ++i)
+    occ[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((i + offset) % 4);
+  return occ;
+}
+
+TEST(ConfigDataset, AddAndRetrieve) {
+  ConfigDataset ds(16, 10);
+  Xoshiro256ss rng(1);
+  ds.add(striped_sample(0), rng);
+  ds.add(striped_sample(1), rng);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.sample(0)[0], 0);
+  EXPECT_EQ(ds.sample(1)[0], 1);
+}
+
+TEST(ConfigDataset, RejectsWrongSize) {
+  ConfigDataset ds(16, 10);
+  Xoshiro256ss rng(1);
+  std::vector<std::uint8_t> bad(8, 0);
+  EXPECT_THROW(ds.add(bad, rng), dt::Error);
+  EXPECT_THROW((void)ds.sample(0), dt::Error);
+}
+
+TEST(ConfigDataset, ReservoirCapsCapacity) {
+  ConfigDataset ds(16, 5);
+  Xoshiro256ss rng(2);
+  for (int i = 0; i < 100; ++i) ds.add(striped_sample(i), rng);
+  EXPECT_EQ(ds.size(), 5u);
+}
+
+TEST(ConfigDataset, ReservoirKeepsLateSamplesSometimes) {
+  // Over the stream 0..99 with capacity 5, the retained set should not be
+  // simply the first five (reservoir replaces uniformly).
+  ConfigDataset ds(16, 5);
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 100; ++i) ds.add(striped_sample(i), rng);
+  std::set<std::uint8_t> first_sites;
+  for (std::size_t k = 0; k < ds.size(); ++k)
+    first_sites.insert(ds.sample(k)[0]);
+  bool has_late = false;
+  for (std::size_t k = 0; k < ds.size(); ++k)
+    if (ds.sample(k)[1] != striped_sample(static_cast<int>(k))[1])
+      has_late = true;
+  (void)first_sites;
+  EXPECT_TRUE(has_late);
+}
+
+TEST(ConfigDataset, ClearResets) {
+  ConfigDataset ds(16, 5);
+  Xoshiro256ss rng(4);
+  ds.add(striped_sample(0), rng);
+  ds.clear();
+  EXPECT_EQ(ds.size(), 0u);
+}
+
+TEST(Trainer, FitReducesLoss) {
+  Vae vae(small_opts(), 5);
+  TrainOptions to;
+  to.epochs = 30;
+  to.batch_size = 8;
+  to.learning_rate = 5e-3f;
+  Trainer trainer(vae, to);
+
+  ConfigDataset ds(16, 64);
+  Xoshiro256ss rng(6);
+  for (int i = 0; i < 32; ++i) ds.add(striped_sample(i % 4), rng);
+
+  const auto report = trainer.fit(ds);
+  ASSERT_EQ(report.epoch_loss.size(), 30u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front() * 0.8f);
+  EXPECT_EQ(report.samples_seen, 30 * 32);
+  EXPECT_GT(report.final_reconstruction, 0.0f);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  Vae vae(small_opts(), 7);
+  Trainer trainer(vae, TrainOptions{});
+  ConfigDataset ds(16, 4);
+  EXPECT_THROW((void)trainer.fit(ds), dt::Error);
+}
+
+TEST(Trainer, MismatchedSitesThrow) {
+  Vae vae(small_opts(), 8);
+  Trainer trainer(vae, TrainOptions{});
+  ConfigDataset ds(8, 4);
+  Xoshiro256ss rng(9);
+  ds.add(std::vector<std::uint8_t>(8, 0), rng);
+  EXPECT_THROW((void)trainer.fit(ds), dt::Error);
+}
+
+TEST(Trainer, DeferredStepLeavesWeightsUntouched) {
+  Vae vae(small_opts(), 10);
+  TrainOptions to;
+  Trainer trainer(vae, to);
+  const auto before = vae.parameters()[0].data();
+  const auto occ = striped_sample(0);
+  (void)trainer.train_batch(occ, 1, /*defer_optimizer_step=*/true);
+  EXPECT_EQ(vae.parameters()[0].data(), before);
+  trainer.apply_step();
+  EXPECT_NE(vae.parameters()[0].data(), before);
+}
+
+TEST(Trainer, TrainBatchValidatesSize) {
+  Vae vae(small_opts(), 11);
+  Trainer trainer(vae, TrainOptions{});
+  std::vector<std::uint8_t> occ(10, 0);  // not batch*16
+  EXPECT_THROW((void)trainer.train_batch(occ, 1), dt::Error);
+}
+
+TEST(Trainer, DeterministicForSeed) {
+  auto run = [] {
+    Vae vae(small_opts(), 12);
+    TrainOptions to;
+    to.epochs = 3;
+    to.seed = 99;
+    Trainer trainer(vae, to);
+    ConfigDataset ds(16, 16);
+    Xoshiro256ss rng(13);
+    for (int i = 0; i < 16; ++i) ds.add(striped_sample(i), rng);
+    return trainer.fit(ds).epoch_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dt::nn

@@ -1,0 +1,271 @@
+#include "mc/wang_landau.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace dt::mc {
+namespace {
+
+using lattice::Configuration;
+using lattice::Lattice;
+using lattice::LatticeType;
+
+struct ExactDos {
+  std::map<long long, double> level_counts;  // 4*E -> count
+  double e_min = 0, e_max = 0, total = 0;
+};
+
+ExactDos enumerate_bcc222_ising() {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const int n = lat.num_sites();
+  ExactDos out;
+  out.e_min = 1e300;
+  out.e_max = -1e300;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != n / 2) continue;
+    Configuration cfg(lat, 2);
+    for (int i = 0; i < n; ++i)
+      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
+    const double e = ham.total_energy(cfg);
+    out.level_counts[std::llround(4 * e)] += 1.0;
+    out.e_min = std::min(out.e_min, e);
+    out.e_max = std::max(out.e_max, e);
+    out.total += 1.0;
+  }
+  return out;
+}
+
+TEST(WangLandau, RecoversExactDosOfEnumerableSystem) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const ExactDos exact = enumerate_bcc222_ising();
+
+  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 140);
+  Rng rng(3, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.log_f_final = 1e-4;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(3, 1));
+  LocalSwapProposal prop(ham);
+
+  ASSERT_TRUE(wl.run(prop, 100000));
+  auto dos = wl.dos();
+  dos.normalize(std::log(exact.total));
+
+  for (const auto& [k, count] : exact.level_counts) {
+    const std::int32_t bin = grid.bin(k / 4.0);
+    ASSERT_TRUE(dos.visited(bin)) << "level " << k / 4.0 << " unvisited";
+    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.25)
+        << "level " << k / 4.0;
+  }
+}
+
+TEST(WangLandau, SeedIndependentWithinTolerance) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const ExactDos exact = enumerate_bcc222_ising();
+  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 140);
+
+  std::vector<DensityOfStates> runs;
+  for (std::uint64_t seed : {11ULL, 17ULL}) {
+    Rng rng(seed, 0);
+    auto cfg = lattice::random_configuration(lat, 2, rng);
+    WangLandauOptions opts;
+    opts.log_f_final = 1e-4;
+    WangLandauSampler wl(ham, cfg, grid, opts, Rng(seed, 1));
+    LocalSwapProposal prop(ham);
+    ASSERT_TRUE(wl.run(prop, 100000));
+    auto dos = wl.dos();
+    dos.normalize(std::log(exact.total));
+    runs.push_back(std::move(dos));
+  }
+  for (const auto& [k, count] : exact.level_counts) {
+    (void)count;
+    const std::int32_t bin = runs[0].grid().bin(k / 4.0);
+    EXPECT_NEAR(runs[0].log_g(bin), runs[1].log_g(bin), 0.4);
+  }
+}
+
+TEST(WangLandau, DeterministicForFixedSeed) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 100);
+
+  auto run_once = [&]() {
+    Rng rng(9, 0);
+    auto cfg = lattice::random_configuration(lat, 2, rng);
+    WangLandauOptions opts;
+    opts.log_f_final = 1e-2;
+    WangLandauSampler wl(ham, cfg, grid, opts, Rng(9, 1));
+    LocalSwapProposal prop(ham);
+    wl.run(prop, 5000);
+    return std::make_pair(wl.energy(), wl.stats().accepted);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(WangLandau, WindowRestrictionIsRespected) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 65);
+  Rng rng(5, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.window_lo_bin = 0;
+  opts.window_hi_bin = 20;
+  opts.log_f_final = 1e-3;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(5, 1));
+  LocalSwapProposal prop(ham);
+  ASSERT_TRUE(wl.seek_window(prop, 100));
+  for (int s = 0; s < 2000; ++s) {
+    wl.sweep(prop);
+    ASSERT_GE(wl.current_bin(), 0);
+    ASSERT_LE(wl.current_bin(), 20);
+  }
+  EXPECT_GT(wl.stats().out_of_window, 0u);
+}
+
+TEST(WangLandau, SeekWindowReachesHighEnergyWindow) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 65);
+  Rng rng(6, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.window_lo_bin = 55;
+  opts.window_hi_bin = 64;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(6, 1));
+  LocalSwapProposal prop(ham);
+  EXPECT_TRUE(wl.seek_window(prop, 500));
+  EXPECT_GE(wl.current_bin(), 55);
+}
+
+TEST(WangLandau, StepOutsideWindowThrows) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 65);
+  Rng rng(7, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.window_lo_bin = 60;
+  opts.window_hi_bin = 64;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(7, 1));
+  LocalSwapProposal prop(ham);
+  // A random configuration has near-zero energy: outside [60, 64].
+  EXPECT_THROW(wl.step(prop), dt::Error);
+}
+
+TEST(WangLandau, LogFScheduleHalves) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 30);
+  Rng rng(8, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.log_f_final = 0.2;
+  opts.one_over_t = false;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(8, 1));
+  LocalSwapProposal prop(ham);
+
+  std::vector<double> finished;
+  wl.run(prop, 50000, [&](int, double f, std::int64_t) {
+    finished.push_back(f);
+  });
+  ASSERT_GE(finished.size(), 2u);
+  EXPECT_DOUBLE_EQ(finished[0], 1.0);
+  EXPECT_DOUBLE_EQ(finished[1], 0.5);
+  EXPECT_TRUE(wl.converged());
+  EXPECT_LT(wl.log_f(), 0.2);
+}
+
+TEST(WangLandau, OneOverTPhaseMonotonicallyRefines) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 30);
+  Rng rng(9, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauOptions opts;
+  opts.log_f_final = 5e-5;
+  opts.one_over_t = true;
+  WangLandauSampler wl(ham, cfg, grid, opts, Rng(9, 1));
+  LocalSwapProposal prop(ham);
+  ASSERT_TRUE(wl.run(prop, 200000));
+  // Converged via 1/t: ln f ~ 1/sweeps.
+  EXPECT_LE(wl.log_f(), 5e-5);
+}
+
+TEST(WangLandau, RoundTripsAccumulate) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const ExactDos exact = enumerate_bcc222_ising();
+  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 100);
+  Rng rng(10, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauSampler wl(ham, cfg, grid, WangLandauOptions{}, Rng(10, 1));
+  LocalSwapProposal prop(ham);
+  wl.run(prop, 5000);
+  EXPECT_GT(wl.stats().round_trips, 2u);
+}
+
+TEST(WangLandau, AdvancePreservesStateAcrossCalls) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 30);
+
+  auto run_in_chunks = [&](std::int64_t chunk) {
+    Rng rng(12, 0);
+    auto cfg = lattice::random_configuration(lat, 2, rng);
+    WangLandauOptions opts;
+    opts.log_f_final = 1e-3;
+    WangLandauSampler wl(ham, cfg, grid, opts, Rng(12, 1));
+    LocalSwapProposal prop(ham);
+    while (!wl.converged() && wl.stats().sweeps < 50000)
+      wl.advance(prop, chunk);
+    return wl.stats().sweeps;
+  };
+  // Chunked execution must converge in the same number of sweeps as one
+  // continuous run (checks are sweep-count based, RNG stream identical).
+  EXPECT_EQ(run_in_chunks(100), run_in_chunks(50000));
+}
+
+TEST(EstimateEnergyRange, BracketsExactSpectrum) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const ExactDos exact = enumerate_bcc222_ising();
+  Rng rng(13, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  const auto [lo, hi] =
+      estimate_energy_range(ham, cfg, 50, 0.02, Rng(13, 1));
+  EXPECT_LE(lo, exact.e_min);
+  EXPECT_GE(hi, exact.e_max);
+  // Not absurdly padded either.
+  EXPECT_GT(lo, exact.e_min - 0.5 * (exact.e_max - exact.e_min));
+  EXPECT_LT(hi, exact.e_max + 0.5 * (exact.e_max - exact.e_min));
+}
+
+TEST(WangLandau, AdoptMovesWalker) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const EnergyGrid grid(-0.5, 64.5, 65);
+  Rng rng(14, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  WangLandauSampler wl(ham, cfg, grid, WangLandauOptions{}, Rng(14, 1));
+
+  auto other = lattice::ordered_b2(lat, 2);
+  const double e = ham.total_energy(other);
+  wl.adopt(other, e);
+  EXPECT_DOUBLE_EQ(wl.energy(), e);
+  EXPECT_EQ(wl.current_bin(), grid.bin(e));
+  EXPECT_TRUE(wl.configuration() == other);
+}
+
+}  // namespace
+}  // namespace dt::mc
