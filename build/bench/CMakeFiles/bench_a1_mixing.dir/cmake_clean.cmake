@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_mixing.dir/bench_a1_mixing.cpp.o"
+  "CMakeFiles/bench_a1_mixing.dir/bench_a1_mixing.cpp.o.d"
+  "bench_a1_mixing"
+  "bench_a1_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_vae_capacity.dir/bench_a2_vae_capacity.cpp.o"
+  "CMakeFiles/bench_a2_vae_capacity.dir/bench_a2_vae_capacity.cpp.o.d"
+  "bench_a2_vae_capacity"
+  "bench_a2_vae_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_vae_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_conditioning.dir/bench_a3_conditioning.cpp.o"
+  "CMakeFiles/bench_a3_conditioning.dir/bench_a3_conditioning.cpp.o.d"
+  "bench_a3_conditioning"
+  "bench_a3_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

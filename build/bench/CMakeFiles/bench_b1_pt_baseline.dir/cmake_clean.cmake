@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b1_pt_baseline.dir/bench_b1_pt_baseline.cpp.o"
+  "CMakeFiles/bench_b1_pt_baseline.dir/bench_b1_pt_baseline.cpp.o.d"
+  "bench_b1_pt_baseline"
+  "bench_b1_pt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b1_pt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

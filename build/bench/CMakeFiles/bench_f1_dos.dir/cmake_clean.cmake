@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_dos.dir/bench_f1_dos.cpp.o"
+  "CMakeFiles/bench_f1_dos.dir/bench_f1_dos.cpp.o.d"
+  "bench_f1_dos"
+  "bench_f1_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

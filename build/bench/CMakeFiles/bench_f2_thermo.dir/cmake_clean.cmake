@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_thermo.dir/bench_f2_thermo.cpp.o"
+  "CMakeFiles/bench_f2_thermo.dir/bench_f2_thermo.cpp.o.d"
+  "bench_f2_thermo"
+  "bench_f2_thermo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_thermo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

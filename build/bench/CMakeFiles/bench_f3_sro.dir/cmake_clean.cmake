@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_sro.dir/bench_f3_sro.cpp.o"
+  "CMakeFiles/bench_f3_sro.dir/bench_f3_sro.cpp.o.d"
+  "bench_f3_sro"
+  "bench_f3_sro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_sro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_proposals.dir/bench_f4_proposals.cpp.o"
+  "CMakeFiles/bench_f4_proposals.dir/bench_f4_proposals.cpp.o.d"
+  "bench_f4_proposals"
+  "bench_f4_proposals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_proposals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f6_scaling.cpp" "bench/CMakeFiles/bench_f6_scaling.dir/bench_f6_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_f6_scaling.dir/bench_f6_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/dt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/dt_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/dt_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/dt_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

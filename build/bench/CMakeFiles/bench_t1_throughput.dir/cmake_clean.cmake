@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_throughput.dir/bench_t1_throughput.cpp.o"
+  "CMakeFiles/bench_t1_throughput.dir/bench_t1_throughput.cpp.o.d"
+  "bench_t1_throughput"
+  "bench_t1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_rewl_summary.dir/bench_t2_rewl_summary.cpp.o"
+  "CMakeFiles/bench_t2_rewl_summary.dir/bench_t2_rewl_summary.cpp.o.d"
+  "bench_t2_rewl_summary"
+  "bench_t2_rewl_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_rewl_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

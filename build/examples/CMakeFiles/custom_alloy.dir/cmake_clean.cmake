@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_alloy.dir/custom_alloy.cpp.o"
+  "CMakeFiles/custom_alloy.dir/custom_alloy.cpp.o.d"
+  "custom_alloy"
+  "custom_alloy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

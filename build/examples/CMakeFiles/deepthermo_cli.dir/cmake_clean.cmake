@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepthermo_cli.dir/deepthermo_cli.cpp.o"
+  "CMakeFiles/deepthermo_cli.dir/deepthermo_cli.cpp.o.d"
+  "deepthermo_cli"
+  "deepthermo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepthermo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

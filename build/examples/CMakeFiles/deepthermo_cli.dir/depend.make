@@ -1,0 +1,2 @@
+# Empty dependencies file for deepthermo_cli.
+# This may be replaced when dependencies are built.

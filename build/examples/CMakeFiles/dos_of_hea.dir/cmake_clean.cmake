@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_of_hea.dir/dos_of_hea.cpp.o"
+  "CMakeFiles/dos_of_hea.dir/dos_of_hea.cpp.o.d"
+  "dos_of_hea"
+  "dos_of_hea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_of_hea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dos_of_hea.
+# This may be replaced when dependencies are built.

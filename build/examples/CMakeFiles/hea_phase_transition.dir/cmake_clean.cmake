@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hea_phase_transition.dir/hea_phase_transition.cpp.o"
+  "CMakeFiles/hea_phase_transition.dir/hea_phase_transition.cpp.o.d"
+  "hea_phase_transition"
+  "hea_phase_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hea_phase_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hea_phase_transition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hea_phase_transition.
+# This may be replaced when dependencies are built.

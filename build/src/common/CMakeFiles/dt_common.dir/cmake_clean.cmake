@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_common.dir/config.cpp.o"
+  "CMakeFiles/dt_common.dir/config.cpp.o.d"
+  "CMakeFiles/dt_common.dir/log.cpp.o"
+  "CMakeFiles/dt_common.dir/log.cpp.o.d"
+  "CMakeFiles/dt_common.dir/math.cpp.o"
+  "CMakeFiles/dt_common.dir/math.cpp.o.d"
+  "CMakeFiles/dt_common.dir/rng.cpp.o"
+  "CMakeFiles/dt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dt_common.dir/table.cpp.o"
+  "CMakeFiles/dt_common.dir/table.cpp.o.d"
+  "libdt_common.a"
+  "libdt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_core.dir/framework.cpp.o"
+  "CMakeFiles/dt_core.dir/framework.cpp.o.d"
+  "CMakeFiles/dt_core.dir/mixed_kernel.cpp.o"
+  "CMakeFiles/dt_core.dir/mixed_kernel.cpp.o.d"
+  "CMakeFiles/dt_core.dir/vae_proposal.cpp.o"
+  "CMakeFiles/dt_core.dir/vae_proposal.cpp.o.d"
+  "libdt_core.a"
+  "libdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_device.dir/cluster.cpp.o"
+  "CMakeFiles/dt_device.dir/cluster.cpp.o.d"
+  "CMakeFiles/dt_device.dir/device.cpp.o"
+  "CMakeFiles/dt_device.dir/device.cpp.o.d"
+  "libdt_device.a"
+  "libdt_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/configuration.cpp" "src/lattice/CMakeFiles/dt_lattice.dir/configuration.cpp.o" "gcc" "src/lattice/CMakeFiles/dt_lattice.dir/configuration.cpp.o.d"
+  "/root/repo/src/lattice/hamiltonian.cpp" "src/lattice/CMakeFiles/dt_lattice.dir/hamiltonian.cpp.o" "gcc" "src/lattice/CMakeFiles/dt_lattice.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/lattice/lattice.cpp" "src/lattice/CMakeFiles/dt_lattice.dir/lattice.cpp.o" "gcc" "src/lattice/CMakeFiles/dt_lattice.dir/lattice.cpp.o.d"
+  "/root/repo/src/lattice/sro.cpp" "src/lattice/CMakeFiles/dt_lattice.dir/sro.cpp.o" "gcc" "src/lattice/CMakeFiles/dt_lattice.dir/sro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_lattice.dir/configuration.cpp.o"
+  "CMakeFiles/dt_lattice.dir/configuration.cpp.o.d"
+  "CMakeFiles/dt_lattice.dir/hamiltonian.cpp.o"
+  "CMakeFiles/dt_lattice.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/dt_lattice.dir/lattice.cpp.o"
+  "CMakeFiles/dt_lattice.dir/lattice.cpp.o.d"
+  "CMakeFiles/dt_lattice.dir/sro.cpp.o"
+  "CMakeFiles/dt_lattice.dir/sro.cpp.o.d"
+  "libdt_lattice.a"
+  "libdt_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

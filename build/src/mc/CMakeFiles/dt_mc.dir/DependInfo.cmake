@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/dos.cpp" "src/mc/CMakeFiles/dt_mc.dir/dos.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/dos.cpp.o.d"
+  "/root/repo/src/mc/energy_grid.cpp" "src/mc/CMakeFiles/dt_mc.dir/energy_grid.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/energy_grid.cpp.o.d"
+  "/root/repo/src/mc/metropolis.cpp" "src/mc/CMakeFiles/dt_mc.dir/metropolis.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/metropolis.cpp.o.d"
+  "/root/repo/src/mc/multicanonical.cpp" "src/mc/CMakeFiles/dt_mc.dir/multicanonical.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/multicanonical.cpp.o.d"
+  "/root/repo/src/mc/observables.cpp" "src/mc/CMakeFiles/dt_mc.dir/observables.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/observables.cpp.o.d"
+  "/root/repo/src/mc/parallel_tempering.cpp" "src/mc/CMakeFiles/dt_mc.dir/parallel_tempering.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/parallel_tempering.cpp.o.d"
+  "/root/repo/src/mc/proposal.cpp" "src/mc/CMakeFiles/dt_mc.dir/proposal.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/proposal.cpp.o.d"
+  "/root/repo/src/mc/reweighting.cpp" "src/mc/CMakeFiles/dt_mc.dir/reweighting.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/reweighting.cpp.o.d"
+  "/root/repo/src/mc/thermo.cpp" "src/mc/CMakeFiles/dt_mc.dir/thermo.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/thermo.cpp.o.d"
+  "/root/repo/src/mc/wang_landau.cpp" "src/mc/CMakeFiles/dt_mc.dir/wang_landau.cpp.o" "gcc" "src/mc/CMakeFiles/dt_mc.dir/wang_landau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/dt_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

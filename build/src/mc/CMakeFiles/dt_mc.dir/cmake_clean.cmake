@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_mc.dir/dos.cpp.o"
+  "CMakeFiles/dt_mc.dir/dos.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/energy_grid.cpp.o"
+  "CMakeFiles/dt_mc.dir/energy_grid.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/metropolis.cpp.o"
+  "CMakeFiles/dt_mc.dir/metropolis.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/multicanonical.cpp.o"
+  "CMakeFiles/dt_mc.dir/multicanonical.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/observables.cpp.o"
+  "CMakeFiles/dt_mc.dir/observables.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/parallel_tempering.cpp.o"
+  "CMakeFiles/dt_mc.dir/parallel_tempering.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/proposal.cpp.o"
+  "CMakeFiles/dt_mc.dir/proposal.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/reweighting.cpp.o"
+  "CMakeFiles/dt_mc.dir/reweighting.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/thermo.cpp.o"
+  "CMakeFiles/dt_mc.dir/thermo.cpp.o.d"
+  "CMakeFiles/dt_mc.dir/wang_landau.cpp.o"
+  "CMakeFiles/dt_mc.dir/wang_landau.cpp.o.d"
+  "libdt_mc.a"
+  "libdt_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdt_mc.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dt_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dt_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/dt_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/dt_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/vae.cpp" "src/nn/CMakeFiles/dt_nn.dir/vae.cpp.o" "gcc" "src/nn/CMakeFiles/dt_nn.dir/vae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_nn.dir/module.cpp.o"
+  "CMakeFiles/dt_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/trainer.cpp.o"
+  "CMakeFiles/dt_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/dt_nn.dir/vae.cpp.o"
+  "CMakeFiles/dt_nn.dir/vae.cpp.o.d"
+  "libdt_nn.a"
+  "libdt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_par.dir/ddp.cpp.o"
+  "CMakeFiles/dt_par.dir/ddp.cpp.o.d"
+  "CMakeFiles/dt_par.dir/minicomm.cpp.o"
+  "CMakeFiles/dt_par.dir/minicomm.cpp.o.d"
+  "CMakeFiles/dt_par.dir/partition.cpp.o"
+  "CMakeFiles/dt_par.dir/partition.cpp.o.d"
+  "CMakeFiles/dt_par.dir/rewl.cpp.o"
+  "CMakeFiles/dt_par.dir/rewl.cpp.o.d"
+  "libdt_par.a"
+  "libdt_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_tensor.dir/optimizer.cpp.o"
+  "CMakeFiles/dt_tensor.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dt_tensor.dir/tensor.cpp.o.d"
+  "libdt_tensor.a"
+  "libdt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conditional_vae.dir/test_conditional_vae.cpp.o"
+  "CMakeFiles/test_conditional_vae.dir/test_conditional_vae.cpp.o.d"
+  "test_conditional_vae"
+  "test_conditional_vae.pdb"
+  "test_conditional_vae[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conditional_vae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configuration.dir/test_configuration.cpp.o"
+  "CMakeFiles/test_configuration.dir/test_configuration.cpp.o.d"
+  "test_configuration"
+  "test_configuration.pdb"
+  "test_configuration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

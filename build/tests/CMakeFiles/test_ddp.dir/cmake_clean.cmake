@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddp.dir/test_ddp.cpp.o"
+  "CMakeFiles/test_ddp.dir/test_ddp.cpp.o.d"
+  "test_ddp"
+  "test_ddp.pdb"
+  "test_ddp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

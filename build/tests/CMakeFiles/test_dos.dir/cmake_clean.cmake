@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dos.dir/test_dos.cpp.o"
+  "CMakeFiles/test_dos.dir/test_dos.cpp.o.d"
+  "test_dos"
+  "test_dos.pdb"
+  "test_dos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_grid.dir/test_energy_grid.cpp.o"
+  "CMakeFiles/test_energy_grid.dir/test_energy_grid.cpp.o.d"
+  "test_energy_grid"
+  "test_energy_grid.pdb"
+  "test_energy_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_energy_grid.
+# This may be replaced when dependencies are built.

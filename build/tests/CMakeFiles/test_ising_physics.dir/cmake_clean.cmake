@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising_physics.dir/test_ising_physics.cpp.o"
+  "CMakeFiles/test_ising_physics.dir/test_ising_physics.cpp.o.d"
+  "test_ising_physics"
+  "test_ising_physics.pdb"
+  "test_ising_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metropolis.dir/test_metropolis.cpp.o"
+  "CMakeFiles/test_metropolis.dir/test_metropolis.cpp.o.d"
+  "test_metropolis"
+  "test_metropolis.pdb"
+  "test_metropolis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metropolis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

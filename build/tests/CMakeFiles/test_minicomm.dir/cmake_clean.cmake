@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minicomm.dir/test_minicomm.cpp.o"
+  "CMakeFiles/test_minicomm.dir/test_minicomm.cpp.o.d"
+  "test_minicomm"
+  "test_minicomm.pdb"
+  "test_minicomm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minicomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

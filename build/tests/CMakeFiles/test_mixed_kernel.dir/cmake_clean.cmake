@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_kernel.dir/test_mixed_kernel.cpp.o"
+  "CMakeFiles/test_mixed_kernel.dir/test_mixed_kernel.cpp.o.d"
+  "test_mixed_kernel"
+  "test_mixed_kernel.pdb"
+  "test_mixed_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

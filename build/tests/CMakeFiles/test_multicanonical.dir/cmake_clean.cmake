@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicanonical.dir/test_multicanonical.cpp.o"
+  "CMakeFiles/test_multicanonical.dir/test_multicanonical.cpp.o.d"
+  "test_multicanonical"
+  "test_multicanonical.pdb"
+  "test_multicanonical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicanonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

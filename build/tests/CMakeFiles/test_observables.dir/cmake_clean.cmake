@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observables.dir/test_observables.cpp.o"
+  "CMakeFiles/test_observables.dir/test_observables.cpp.o.d"
+  "test_observables"
+  "test_observables.pdb"
+  "test_observables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

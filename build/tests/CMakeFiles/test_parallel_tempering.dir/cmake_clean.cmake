@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_tempering.dir/test_parallel_tempering.cpp.o"
+  "CMakeFiles/test_parallel_tempering.dir/test_parallel_tempering.cpp.o.d"
+  "test_parallel_tempering"
+  "test_parallel_tempering.pdb"
+  "test_parallel_tempering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_tempering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

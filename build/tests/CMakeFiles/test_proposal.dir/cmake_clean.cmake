@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proposal.dir/test_proposal.cpp.o"
+  "CMakeFiles/test_proposal.dir/test_proposal.cpp.o.d"
+  "test_proposal"
+  "test_proposal.pdb"
+  "test_proposal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proposal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reweighting.dir/test_reweighting.cpp.o"
+  "CMakeFiles/test_reweighting.dir/test_reweighting.cpp.o.d"
+  "test_reweighting"
+  "test_reweighting.pdb"
+  "test_reweighting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reweighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

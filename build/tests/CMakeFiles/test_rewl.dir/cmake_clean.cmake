@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewl.dir/test_rewl.cpp.o"
+  "CMakeFiles/test_rewl.dir/test_rewl.cpp.o.d"
+  "test_rewl"
+  "test_rewl.pdb"
+  "test_rewl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sro.dir/test_sro.cpp.o"
+  "CMakeFiles/test_sro.dir/test_sro.cpp.o.d"
+  "test_sro"
+  "test_sro.pdb"
+  "test_sro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermo.dir/test_thermo.cpp.o"
+  "CMakeFiles/test_thermo.dir/test_thermo.cpp.o.d"
+  "test_thermo"
+  "test_thermo.pdb"
+  "test_thermo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

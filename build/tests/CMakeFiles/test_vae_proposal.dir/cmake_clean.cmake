@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vae_proposal.dir/test_vae_proposal.cpp.o"
+  "CMakeFiles/test_vae_proposal.dir/test_vae_proposal.cpp.o.d"
+  "test_vae_proposal"
+  "test_vae_proposal.pdb"
+  "test_vae_proposal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vae_proposal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wang_landau.dir/test_wang_landau.cpp.o"
+  "CMakeFiles/test_wang_landau.dir/test_wang_landau.cpp.o.d"
+  "test_wang_landau"
+  "test_wang_landau.pdb"
+  "test_wang_landau[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wang_landau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

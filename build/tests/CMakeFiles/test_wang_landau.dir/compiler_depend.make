@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wang_landau.
+# This may be replaced when dependencies are built.

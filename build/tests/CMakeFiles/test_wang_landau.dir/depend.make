@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wang_landau.
+# This may be replaced when dependencies are built.

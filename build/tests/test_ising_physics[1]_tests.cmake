@@ -1,0 +1,3 @@
+add_test([=[IsingPhysics.BccTransitionTemperatureBracketsLiterature]=]  /root/repo/build/tests/test_ising_physics [==[--gtest_filter=IsingPhysics.BccTransitionTemperatureBracketsLiterature]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IsingPhysics.BccTransitionTemperatureBracketsLiterature]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_ising_physics_TESTS IsingPhysics.BccTransitionTemperatureBracketsLiterature)
