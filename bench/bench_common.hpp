@@ -9,30 +9,77 @@
 // pass --cells=6 (or more) to approach paper-scale systems.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/deepthermo.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dt::bench {
 
-/// Parse the common command line: --cells, --bins, --seed, --csv, plus
-/// whatever bench-specific keys the caller reads from the result.
+/// Wall clock of the whole bench process, started by parse_args; the
+/// --json summary records its reading at each emit().
+inline const Stopwatch& bench_clock() {
+  static Stopwatch clock;
+  return clock;
+}
+
+/// Parse the common command line: --cells, --bins, --seed, --csv,
+/// --json (machine-readable per-bench summaries), --telemetry (JSONL or
+/// CSV runtime telemetry, see src/obs), plus whatever bench-specific
+/// keys the caller reads from the result.
 inline Config parse_args(int argc, char** argv) {
+  (void)bench_clock();  // start the wall clock at entry
   Config cfg;
   cfg.update_from_args(argc, argv);
+  const std::string telemetry = cfg.get_string("telemetry", "");
+  if (!telemetry.empty()) obs::Telemetry::instance().enable(telemetry);
   return cfg;
 }
 
 /// Emit a table to stdout and, when --csv=<path> was given, to that file
 /// (suffix inserted before .csv when a bench emits several tables).
+/// When --json=<path> was given, additionally append one JSON line per
+/// table -- {"bench", "tag", "wall_seconds", "columns", "rows"} -- so
+/// bench trajectories can be tracked across commits.
 inline void emit(const Table& table, const Config& cfg,
                  const std::string& title, const std::string& csv_tag = "") {
   table.print(std::cout, title);
   std::cout << '\n';
+  const std::string json_path = cfg.get_string("json", "");
+  if (!json_path.empty()) {
+    std::string rows = "[";
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      if (r > 0) rows += ',';
+      rows += '[';
+      const auto& cells = table.row(r);
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c > 0) rows += ',';
+        rows += '"' + json_escape(cells[c]) + '"';
+      }
+      rows += ']';
+    }
+    rows += ']';
+    std::string columns = "[";
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      if (c > 0) columns += ',';
+      columns += '"' + json_escape(table.columns()[c]) + '"';
+    }
+    columns += ']';
+    JsonWriter line;
+    line.field("bench", title)
+        .field("tag", csv_tag)
+        .field("wall_seconds", bench_clock().seconds())
+        .raw("columns", columns)
+        .raw("rows", rows);
+    std::ofstream out(json_path, std::ios::app);
+    out << line.str() << '\n';
+  }
   const std::string base = cfg.get_string("csv", "");
   if (base.empty()) return;
   std::string path = base;

@@ -14,8 +14,10 @@
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/deepthermo.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -54,6 +56,11 @@ t_points = 40
 # outputs (empty = skip)
 dos_out =
 scan_out =
+
+# observability (see README "Observability"): telemetry sink path --
+# *.jsonl streams events, *.csv writes one CSV per event type.
+telemetry =
+log_format = text       # text | json
 )";
 
 dt::lattice::LatticeType parse_lattice(const std::string& name) {
@@ -89,6 +96,12 @@ int main(int argc, char** argv) {
     for (const auto& [key, value] : file_cfg.items()) cfg.set(key, value);
   }
   for (const auto& [key, value] : cli.items()) cfg.set(key, value);
+
+  if (cfg.get_string("log_format", "text") == "json")
+    set_log_format(LogFormat::kJson);
+  const std::string telemetry_path = cfg.get_string("telemetry", "");
+  if (!telemetry_path.empty())
+    obs::Telemetry::instance().enable(telemetry_path);
 
   core::DeepThermoOptions opts;
   opts.lattice.type = parse_lattice(cfg.get_string("lattice", "bcc"));
@@ -158,6 +171,12 @@ int main(int argc, char** argv) {
   if (!scan_out.empty()) {
     table.write_csv_file(scan_out);
     std::printf("scan -> %s\n", scan_out.c_str());
+  }
+  if (!telemetry_path.empty()) {
+    // Pick up spans opened after run() (thermo scan) and the final
+    // metric values.
+    obs::Telemetry::instance().finish();
+    std::printf("telemetry -> %s\n", telemetry_path.c_str());
   }
   return result.rewl.converged ? 0 : 2;
 }

@@ -1,16 +1,25 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+
+#include "common/json.hpp"
 
 namespace dt {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 std::mutex g_mutex;
 
-const char* level_name(LogLevel level) {
+thread_local std::string t_tag;
+
+// Padded for aligned text output.
+const char* level_name_padded(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "debug";
@@ -18,6 +27,20 @@ const char* level_name(LogLevel level) {
       return "info ";
     case LogLevel::kWarn:
       return "warn ";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
     case LogLevel::kError:
       return "error";
   }
@@ -33,11 +56,62 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_format(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat log_format() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void set_log_tag(std::string tag) { t_tag = std::move(tag); }
+
+const std::string& log_tag() { return t_tag; }
+
+std::string iso8601_timestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];  // worst-case %04d expansion with pathological tm fields
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  const std::string ts = iso8601_timestamp();
+  if (log_format() == LogFormat::kJson) {
+    JsonWriter w;
+    w.field("ts", ts).field("level", level_name(level));
+    if (!t_tag.empty()) w.field("tag", t_tag);
+    w.field("msg", message);
+    return w.str();
+  }
+  std::string line = ts;
+  line += " [";
+  line += level_name_padded(level);
+  line += "]";
+  if (!t_tag.empty()) {
+    line += " [";
+    line += t_tag;
+    line += "]";
+  }
+  line += " ";
+  line += message;
+  return line;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
     return;
+  const std::string line = format_log_line(level, message);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr << line << '\n';
 }
 
 }  // namespace dt

@@ -1,5 +1,11 @@
 // Leveled logging to stderr. Thread-safe (one mutex-guarded write per
 // message); cheap enough for progress reporting but not for per-sweep use.
+//
+// Each line carries an ISO-8601 wall-clock timestamp and, when set via
+// set_log_tag, a per-thread tag (REWL ranks tag themselves "r<rank>").
+// Two output formats:
+//   kText:  2026-08-06T12:00:00.123Z [info ] [r03] message
+//   kJson:  {"ts":"...","level":"info","tag":"r03","msg":"message"}
 #pragma once
 
 #include <sstream>
@@ -8,12 +14,30 @@
 namespace dt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat { kText = 0, kJson = 1 };
 
 /// Global threshold; messages below it are dropped. Default: kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line "[level] message" to stderr if level >= threshold.
+/// Global output format. Default: kText.
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Per-thread tag embedded in every line this thread logs (rank, worker
+/// id, ...). Empty (the default) omits the tag.
+void set_log_tag(std::string tag);
+const std::string& log_tag();
+
+/// Current wall-clock time as ISO-8601 UTC with millisecond precision,
+/// e.g. "2026-08-06T12:00:00.123Z". Also used by the telemetry sinks.
+std::string iso8601_timestamp();
+
+/// Render one line in the current format without emitting it (exposed so
+/// tests can cover the formats without capturing stderr).
+std::string format_log_line(LogLevel level, const std::string& message);
+
+/// Emit one formatted line to stderr if level >= threshold.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

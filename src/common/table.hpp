@@ -25,6 +25,9 @@ class Table {
     add_row({format_cell(cells)...});
   }
 
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
     return rows_.at(i);

@@ -9,6 +9,8 @@
 #include "common/stopwatch.hpp"
 #include "mc/metropolis.hpp"
 #include "mc/multicanonical.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "par/ddp.hpp"
 #include "par/partition.hpp"
 
@@ -19,6 +21,7 @@ namespace {
 mc::EnergyGrid build_grid(const lattice::EpiHamiltonian& hamiltonian,
                           const lattice::Lattice& lat,
                           const DeepThermoOptions& options) {
+  DT_SPAN("bracket_range");
   mc::Rng rng(options.seed, stream_id(0xE0, 0));
   lattice::Configuration cfg =
       lattice::random_configuration(lat, options.n_species, rng);
@@ -84,6 +87,7 @@ double Framework::normalized_energy(double energy) const {
 }
 
 nn::TrainReport Framework::pretrain() {
+  DT_SPAN("pretrain");
   const PretrainOptions& po = options_.pretrain;
   DT_CHECK(po.n_temperatures >= 1);
   DT_CHECK(po.t_hi >= po.t_lo && po.t_lo > 0.0);
@@ -100,6 +104,7 @@ nn::TrainReport Framework::pretrain() {
   vae_ = std::make_shared<nn::Vae>(vo, options_.seed);
 
   // ---- data generation: annealing ladder, high T -> low T ----
+  obs::ScopedSpan ladder_span("pretrain.ladder");
   nn::ConfigDataset dataset(lattice_.num_sites(),
                             options_.vae.dataset_capacity, cond_dim);
   Xoshiro256ss reservoir_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -134,7 +139,10 @@ nn::TrainReport Framework::pretrain() {
     }
   }
 
+  ladder_span.end();
+
   // ---- fit ----
+  DT_SPAN("pretrain.fit");
   nn::TrainOptions to;
   to.epochs = options_.vae.epochs;
   to.batch_size = options_.vae.batch_size;
@@ -240,8 +248,11 @@ DeepThermoResult Framework::run() {
   }
 
   Stopwatch sample_clock;
-  result.rewl = par::run_rewl(hamiltonian_, lattice_, options_.n_species,
-                              grid_, options_.rewl, factory, hook);
+  {
+    DT_SPAN("rewl");
+    result.rewl = par::run_rewl(hamiltonian_, lattice_, options_.n_species,
+                                grid_, options_.rewl, factory, hook);
+  }
   result.sample_seconds = sample_clock.seconds();
 
   // Aggregate per-kernel stats (threads are joined; states are ours).
@@ -257,6 +268,7 @@ DeepThermoResult Framework::run() {
 
   // ---- optional multicanonical production phase ----
   if (options_.production_sweeps > 0 && result.rewl.dos.num_visited() > 1) {
+    DT_SPAN("production");
     Stopwatch production_clock;
     mc::Rng init_rng(options_.seed, stream_id(0xBB, 0));
     lattice::Configuration cfg =
@@ -293,12 +305,24 @@ DeepThermoResult Framework::run() {
   }
 
   result.dos.normalize(log_total_states());
+
+  obs::Telemetry& telemetry = obs::Telemetry::instance();
+  if (telemetry.enabled()) {
+    auto& metrics = telemetry.metrics();
+    metrics.gauge("run.pretrain_seconds").set(result.pretrain_seconds);
+    metrics.gauge("run.sample_seconds").set(result.sample_seconds);
+    metrics.gauge("run.production_seconds").set(result.production_seconds);
+    metrics.gauge("run.total_sweeps")
+        .set(static_cast<double>(result.rewl.total_sweeps));
+    telemetry.finish();
+  }
   return result;
 }
 
 std::vector<mc::ThermoPoint> Framework::scan(const DeepThermoResult& result,
                                              double t_lo, double t_hi,
                                              std::size_t n_points) {
+  DT_SPAN("thermo_scan");
   return mc::thermo_scan(result.dos, linspace(t_lo, t_hi, n_points));
 }
 

@@ -1,6 +1,7 @@
 #include "core/mixed_kernel.hpp"
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dt::core {
 
@@ -11,6 +12,11 @@ DeepThermoProposal::DeepThermoProposal(
       vae_(hamiltonian, std::move(vae)),
       global_fraction_(global_fraction) {
   DT_CHECK(global_fraction >= 0.0 && global_fraction <= 1.0);
+  auto& metrics = obs::MetricsRegistry::global();
+  local_proposed_total_ = &metrics.counter("kernel.local.proposed");
+  local_reverted_total_ = &metrics.counter("kernel.local.reverted");
+  vae_proposed_total_ = &metrics.counter("kernel.vae.proposed");
+  vae_reverted_total_ = &metrics.counter("kernel.vae.reverted");
 }
 
 mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
@@ -19,18 +25,35 @@ mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
   // Component choice must be state-independent for the mixture to remain
   // a valid MH kernel; a fixed Bernoulli qualifies.
   last_was_global_ = uniform01(rng) < global_fraction_;
-  if (last_was_global_) return vae_.propose(cfg, current_energy, rng);
+  const bool telem = obs::Telemetry::instance().enabled();
+  if (last_was_global_) {
+    if (telem) vae_proposed_total_->add();
+    return vae_.propose(cfg, current_energy, rng);
+  }
   ++local_stats_.proposed;
+  if (telem) local_proposed_total_->add();
   return local_.propose(cfg, current_energy, rng);
 }
 
 void DeepThermoProposal::revert(lattice::Configuration& cfg) {
+  const bool telem = obs::Telemetry::instance().enabled();
   if (last_was_global_) {
+    if (telem) vae_reverted_total_->add();
     vae_.revert(cfg);
   } else {
     ++local_stats_.reverted;
+    if (telem) local_reverted_total_->add();
     local_.revert(cfg);
   }
+}
+
+std::vector<std::pair<std::string, double>> DeepThermoProposal::telemetry()
+    const {
+  const VaeProposalStats& vs = vae_.stats();
+  return {{"local_proposed", static_cast<double>(local_stats_.proposed)},
+          {"local_accept", local_stats_.acceptance_rate()},
+          {"vae_proposed", static_cast<double>(vs.proposed)},
+          {"vae_accept", vs.acceptance_rate()}};
 }
 
 }  // namespace dt::core

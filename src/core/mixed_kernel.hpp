@@ -10,6 +10,7 @@
 
 #include "core/vae_proposal.hpp"
 #include "mc/proposal.hpp"
+#include "obs/metrics.hpp"
 
 namespace dt::core {
 
@@ -35,6 +36,10 @@ class DeepThermoProposal final : public mc::Proposal {
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override { return "deepthermo"; }
 
+  /// Per-component acceptance split for the per-walker telemetry events.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> telemetry()
+      const override;
+
   [[nodiscard]] const KernelStats& local_stats() const { return local_stats_; }
   [[nodiscard]] const VaeProposalStats& vae_stats() const {
     return vae_.stats();
@@ -48,6 +53,12 @@ class DeepThermoProposal final : public mc::Proposal {
   double global_fraction_;
   bool last_was_global_ = false;
   KernelStats local_stats_;
+  // Global proposal-outcome counters (shared across walkers); resolved
+  // once here so the hot path is a relaxed add gated on telemetry.
+  obs::Counter* local_proposed_total_;
+  obs::Counter* local_reverted_total_;
+  obs::Counter* vae_proposed_total_;
+  obs::Counter* vae_reverted_total_;
 };
 
 }  // namespace dt::core

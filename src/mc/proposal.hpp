@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -49,6 +50,15 @@ class Proposal {
 
   /// True for kernels that update O(N) sites per move.
   [[nodiscard]] virtual bool is_global() const { return false; }
+
+  /// Optional kernel telemetry: (name, value) pairs merged into the
+  /// per-walker telemetry events by the REWL driver (e.g. the mixed
+  /// DeepThermo kernel reports its local/VAE acceptance split). Base
+  /// kernels report nothing.
+  [[nodiscard]] virtual std::vector<std::pair<std::string, double>>
+  telemetry() const {
+    return {};
+  }
 };
 
 /// Swap the species of two random sites of differing species. Symmetric.

@@ -1,9 +1,12 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dt::nn {
 
@@ -92,7 +95,18 @@ VaeLossParts Trainer::train_batch(std::span<const std::uint8_t> occupancies,
 
 void Trainer::apply_step() { optimizer_.step(); }
 
+float Trainer::gradient_norm() const {
+  double sum_sq = 0.0;
+  for (const auto& p : vae_->parameters()) {
+    if (!p.requires_grad()) continue;
+    for (const float g : p.grad())
+      sum_sq += static_cast<double>(g) * static_cast<double>(g);
+  }
+  return static_cast<float>(std::sqrt(sum_sq));
+}
+
 TrainReport Trainer::fit(const ConfigDataset& dataset) {
+  DT_SPAN("nn.fit");
   DT_CHECK_MSG(dataset.size() > 0, "fit() on an empty dataset");
   DT_CHECK(dataset.n_sites() == vae_->options().n_sites);
 
@@ -139,10 +153,27 @@ TrainReport Trainer::fit(const ConfigDataset& dataset) {
       report.samples_seen += b;
       (void)n_sites;
     }
-    report.epoch_loss.push_back(
-        static_cast<float>(loss_acc / static_cast<double>(batches)));
+    const auto mean_loss =
+        static_cast<float>(loss_acc / static_cast<double>(batches));
+    // Gradients persist between backward() calls, so the last batch's
+    // gradient is still live here.
+    const float grad_norm = gradient_norm();
+    report.epoch_loss.push_back(mean_loss);
+    report.epoch_grad_norm.push_back(grad_norm);
     report.final_reconstruction = last_recon;
     report.final_kl = last_kl;
+
+    obs::Telemetry& telemetry = obs::Telemetry::instance();
+    if (telemetry.enabled()) {
+      telemetry.metrics().counter("train.epochs").add();
+      telemetry.emit(obs::Event("train_epoch")
+                         .with("epoch", static_cast<std::int64_t>(epoch))
+                         .with("loss", static_cast<double>(mean_loss))
+                         .with("recon", static_cast<double>(last_recon))
+                         .with("kl", static_cast<double>(last_kl))
+                         .with("grad_norm", static_cast<double>(grad_norm))
+                         .with("samples", report.samples_seen));
+    }
   }
   return report;
 }

@@ -57,6 +57,10 @@ struct TrainOptions {
 
 struct TrainReport {
   std::vector<float> epoch_loss;       ///< mean total loss per epoch
+  /// L2 norm of the parameter gradient after each epoch's last batch
+  /// (a cheap divergence/vanishing diagnostic; also exported as the
+  /// "train_epoch" telemetry event).
+  std::vector<float> epoch_grad_norm;
   float final_reconstruction = 0.0f;
   float final_kl = 0.0f;
   std::int64_t samples_seen = 0;
@@ -83,6 +87,10 @@ class Trainer {
 
   /// Apply the deferred optimizer step (data-parallel path).
   void apply_step();
+
+  /// L2 norm of the current parameter gradients (valid after a
+  /// train_batch / backward pass).
+  [[nodiscard]] float gradient_norm() const;
 
   [[nodiscard]] tensor::Adam& optimizer() { return optimizer_; }
   [[nodiscard]] Vae& vae() { return *vae_; }

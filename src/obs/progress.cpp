@@ -1,0 +1,36 @@
+#include "obs/progress.hpp"
+
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace dt::obs {
+
+bool ProgressReporter::poll(const std::function<std::string()>& render) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = clock_.seconds();
+    if (now - last_report_s_ < interval_) return false;
+    last_report_s_ = now;
+  }
+  report(render);
+  return true;
+}
+
+void ProgressReporter::force(const std::function<std::string()>& render) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_report_s_ = clock_.seconds();
+  }
+  report(render);
+}
+
+void ProgressReporter::report(const std::function<std::string()>& render) {
+  DT_LOG_INFO << render();
+  Telemetry& telemetry = Telemetry::instance();
+  if (telemetry.enabled()) {
+    telemetry.snapshot_metrics();
+    telemetry.flush();
+  }
+}
+
+}  // namespace dt::obs

@@ -1,0 +1,40 @@
+// Interval-driven progress heartbeat.
+//
+// Long-running loops (the REWL driver) call poll() every iteration; at
+// most once per interval the reporter renders the caller's heartbeat
+// line through the logger, snapshots the metrics registry into the
+// telemetry sinks and flushes them, so `tail -f run.jsonl` tracks a live
+// run. The render callback is only invoked when a report actually fires,
+// keeping poll() nearly free between intervals. Thread-safe: concurrent
+// pollers elect one reporter per interval.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "common/stopwatch.hpp"
+
+namespace dt::obs {
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(double interval_seconds = 5.0)
+      : interval_(interval_seconds) {}
+
+  /// Fire at most once per interval: log `render()`, snapshot metrics,
+  /// flush telemetry. Returns true when this call reported.
+  bool poll(const std::function<std::string()>& render);
+
+  /// Unconditional report (end-of-run summaries).
+  void force(const std::function<std::string()>& render);
+
+ private:
+  void report(const std::function<std::string()>& render);
+
+  double interval_;
+  Stopwatch clock_;
+  std::mutex mutex_;
+  double last_report_s_ = 0.0;
+};
+
+}  // namespace dt::obs

@@ -1,0 +1,112 @@
+#include "obs/sink.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace dt::obs {
+
+namespace {
+
+std::string field_to_csv(const FieldValue& value) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          return v ? "1" : "0";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          // Minimal RFC-4180 quoting.
+          if (v.find_first_of(",\"\n") == std::string::npos) return v;
+          std::string out = "\"";
+          for (const char c : v) {
+            if (c == '"') out += '"';
+            out += c;
+          }
+          out += '"';
+          return out;
+        } else if constexpr (std::is_same_v<T, double>) {
+          return json_number(v);
+        } else {
+          return std::to_string(v);
+        }
+      },
+      value);
+}
+
+}  // namespace
+
+std::string event_to_json(const Event& event) {
+  JsonWriter w;
+  w.field("type", event.type);
+  for (const auto& [name, value] : event.fields) {
+    std::visit([&w, &name](const auto& v) { w.field(name, v); }, value);
+  }
+  return w.str();
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : os_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+  DT_CHECK_MSG(os_->good(), "cannot open telemetry sink: " << path);
+}
+
+JsonlSink::JsonlSink(std::unique_ptr<std::ostream> os) : os_(std::move(os)) {}
+
+void JsonlSink::write(const Event& event) {
+  const std::string line = event_to_json(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *os_ << line << '\n';
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
+CsvSink::CsvSink(std::string base_path) : base_(std::move(base_path)) {
+  const auto dot = base_.rfind(".csv");
+  if (dot != std::string::npos && dot == base_.size() - 4)
+    base_.erase(dot);
+}
+
+void CsvSink::write(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = streams_.find(event.type);
+  if (it == streams_.end()) {
+    Stream stream;
+    stream.file.open(base_ + "_" + event.type + ".csv", std::ios::trunc);
+    DT_CHECK_MSG(stream.file.good(),
+                 "cannot open telemetry CSV for event type " << event.type);
+    for (const auto& [name, value] : event.fields) {
+      (void)value;
+      stream.columns.push_back(name);
+    }
+    std::string header;
+    for (const auto& c : stream.columns) {
+      if (!header.empty()) header += ',';
+      header += c;
+    }
+    stream.file << header << '\n';
+    it = streams_.emplace(event.type, std::move(stream)).first;
+  }
+
+  Stream& stream = it->second;
+  std::string row;
+  for (std::size_t i = 0; i < stream.columns.size(); ++i) {
+    if (i > 0) row += ',';
+    for (const auto& [name, value] : event.fields) {
+      if (name == stream.columns[i]) {
+        row += field_to_csv(value);
+        break;
+      }
+    }
+  }
+  stream.file << row << '\n';
+}
+
+void CsvSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [type, stream] : streams_) stream.file.flush();
+}
+
+}  // namespace dt::obs

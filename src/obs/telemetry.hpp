@@ -1,0 +1,72 @@
+// Process-wide telemetry facade tying the pieces together.
+//
+//   obs::Telemetry::instance().enable("run.jsonl");   // or *.csv
+//   ... instrumented code emits events / bumps metrics / opens spans ...
+//   obs::Telemetry::instance().finish();              // spans+snapshot+flush
+//
+// Disabled (the default) every entry point is a relaxed atomic load and
+// an early return, so instrumentation can stay compiled into hot paths.
+// All methods are thread-safe; REWL walker threads emit concurrently.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
+namespace dt::obs {
+
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// Open a sink at `path` -- a ".csv" suffix selects the CSV sink
+  /// family, anything else JSONL -- then turn on event emission and span
+  /// recording. Repeated calls add sinks.
+  void enable(const std::string& path);
+  void add_sink(std::unique_ptr<Sink> sink);
+
+  /// Flush and drop all sinks, stop span recording.
+  void disable();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The registry the built-in instrumentation publishes into.
+  [[nodiscard]] MetricsRegistry& metrics() const {
+    return MetricsRegistry::global();
+  }
+
+  /// Stamp the event with a "ts" field and write it to every sink.
+  /// No-op when disabled.
+  void emit(Event event);
+
+  /// Drain the span recorder and emit one "span" event per record.
+  void flush_spans();
+
+  /// Emit the metrics registry as "metric" events (one per instrument),
+  /// all sharing one "seq" snapshot sequence number.
+  void snapshot_metrics();
+
+  /// Flush sinks to disk.
+  void flush();
+
+  /// flush_spans + snapshot_metrics + flush: the end-of-run call.
+  void finish();
+
+ private:
+  Telemetry() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::atomic<std::uint64_t> snapshot_seq_{0};
+};
+
+}  // namespace dt::obs

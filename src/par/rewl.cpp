@@ -3,11 +3,16 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "lattice/configuration.hpp"
 #include "mc/proposal.hpp"
+#include "obs/progress.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace dt::par {
 
@@ -76,10 +81,15 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
   std::mutex result_mutex;  // rank 0 writes once; belt and braces
   Stopwatch wall;
 
+  obs::Telemetry& telemetry = obs::Telemetry::instance();
+  obs::ProgressReporter progress(options.progress_interval_seconds);
+
   run_ranks(options.total_ranks(), [&](Communicator& comm) {
     const int rank = comm.rank();
     const int window_id = rank / wpw;
     const Window& window = windows[static_cast<std::size_t>(window_id)];
+    set_log_tag("r" + std::to_string(rank));
+    DT_SPAN("rewl.rank");
 
     // Independent streams per rank for init / sampling / exchange.
     mc::Rng init_rng(options.seed, stream_id(static_cast<std::uint64_t>(rank), 0));
@@ -112,6 +122,17 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
     ExchangeStats exch;
     const auto n_sites = static_cast<std::size_t>(lat.num_sites());
     std::int64_t round = 0;
+
+    // Per-walker telemetry cadence: one time-series event per exchange
+    // block, plus shared exchange counters in the global registry.
+    auto& metrics = obs::MetricsRegistry::global();
+    obs::Counter& rounds_total = metrics.counter("rewl.rounds");
+    obs::Counter& exch_attempted_total =
+        metrics.counter("rewl.exchange.attempted");
+    obs::Counter& exch_accepted_total =
+        metrics.counter("rewl.exchange.accepted");
+    Stopwatch block_clock;
+    std::int64_t sweeps_at_last_block = 0;
 
     for (;;) {
       walker.advance(*proposal, options.exchange_interval);
@@ -146,6 +167,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
           const double lgi_ey = walker.log_g_at(e_y);
 
           ++exch.attempted;
+          if (telemetry.enabled()) exch_attempted_total.add();
           bool accept = false;
           if (std::isfinite(lgi_ey) && std::isfinite(lgj_ex)) {
             const double log_a =
@@ -156,6 +178,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                                         accept ? 1 : 0);
           if (accept) {
             ++exch.accepted;
+            if (telemetry.enabled()) exch_accepted_total.add();
             comm.send<std::uint8_t>(
                 partner, kTagConfigUp,
                 std::span<const std::uint8_t>(
@@ -186,6 +209,51 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
             incoming.assign(theirs);
             walker.adopt(incoming, e_x);
           }
+        }
+      }
+
+      if (telemetry.enabled()) {
+        rounds_total.add();
+        const mc::WangLandauStats& st = walker.stats();
+        const double block_s = block_clock.seconds();
+        block_clock.reset();
+        const double sweeps_per_s =
+            block_s > 0.0 ? static_cast<double>(st.sweeps -
+                                                sweeps_at_last_block) /
+                                block_s
+                          : 0.0;
+        sweeps_at_last_block = st.sweeps;
+        const double flatness = walker.histogram().flatness_ratio(
+            window.lo_bin, window.hi_bin);
+
+        obs::Event event("rewl_walker");
+        event.with("rank", rank)
+            .with("window", window_id)
+            .with("round", round)
+            .with("sweeps", st.sweeps)
+            .with("sweeps_per_s", sweeps_per_s)
+            .with("log_f", walker.log_f())
+            .with("f_stage", st.f_stages_completed)
+            .with("flatness", flatness)
+            .with("acceptance", st.acceptance_rate())
+            .with("round_trips", st.round_trips)
+            .with("partner_window",
+                  partner < 0 ? -1 : (is_lower ? window_id + 1
+                                               : window_id - 1))
+            .with("exch_attempted", exch.attempted)
+            .with("exch_accepted", exch.accepted);
+        for (auto& [field, value] : proposal->telemetry())
+          event.with(std::move(field), value);
+        telemetry.emit(std::move(event));
+
+        if (rank == 0) {
+          progress.poll([&] {
+            std::ostringstream os;
+            os << "rewl: round " << round << ", sweeps " << st.sweeps
+               << ", ln f " << walker.log_f() << ", flatness " << flatness
+               << ", acc " << st.acceptance_rate();
+            return os.str();
+          });
         }
       }
       ++round;

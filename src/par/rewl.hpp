@@ -38,6 +38,9 @@ struct RewlOptions {
   std::int64_t max_sweeps = 200000;      ///< per-walker cap
   std::int64_t seek_sweeps = 2000;       ///< cap for driving into windows
   std::uint64_t seed = 42;
+  /// Heartbeat cadence of the progress reporter (active only while
+  /// telemetry is enabled; see src/obs).
+  double progress_interval_seconds = 5.0;
 
   [[nodiscard]] int total_ranks() const {
     return n_windows * walkers_per_window;

@@ -30,6 +30,83 @@ TEST(Log, SuppressedMessagesDoNotCrash) {
   set_log_level(before);
 }
 
+TEST(Log, TextFormatHasTimestampLevelAndMessage) {
+  set_log_format(LogFormat::kText);
+  set_log_tag("");
+  const std::string line = format_log_line(LogLevel::kInfo, "hello world");
+  // 2026-08-06T12:00:00.123Z [info ] hello world
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" [info ] "), std::string::npos);
+  EXPECT_NE(line.find("hello world"), std::string::npos);
+  EXPECT_EQ(line.find('['), line.find("[info "));  // no tag block
+}
+
+TEST(Log, TextFormatIncludesThreadTag) {
+  set_log_format(LogFormat::kText);
+  set_log_tag("r07");
+  const std::string line = format_log_line(LogLevel::kWarn, "msg");
+  EXPECT_NE(line.find("[warn ] [r07] msg"), std::string::npos);
+  set_log_tag("");
+}
+
+TEST(Log, JsonFormatEmitsOneValidObjectPerLine) {
+  set_log_format(LogFormat::kJson);
+  set_log_tag("w1");
+  const std::string line =
+      format_log_line(LogLevel::kError, "broke: \"quote\"\n");
+  set_log_format(LogFormat::kText);
+  set_log_tag("");
+
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line even with \n
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(line.find("\"tag\":\"w1\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"broke: \\\"quote\\\"\\n\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos);
+}
+
+TEST(Log, JsonFormatOmitsEmptyTag) {
+  set_log_format(LogFormat::kJson);
+  set_log_tag("");
+  const std::string line = format_log_line(LogLevel::kInfo, "m");
+  set_log_format(LogFormat::kText);
+  EXPECT_EQ(line.find("\"tag\""), std::string::npos);
+}
+
+TEST(Log, TagIsPerThread) {
+  set_log_tag("main");
+  std::string other_line;
+  std::thread t([&other_line] {
+    set_log_tag("worker");
+    other_line = format_log_line(LogLevel::kInfo, "x");
+  });
+  t.join();
+  const std::string main_line = format_log_line(LogLevel::kInfo, "x");
+  set_log_tag("");
+  EXPECT_NE(other_line.find("[worker]"), std::string::npos);
+  EXPECT_NE(main_line.find("[main]"), std::string::npos);
+  EXPECT_EQ(main_line.find("[worker]"), std::string::npos);
+}
+
+TEST(Log, Iso8601TimestampShape) {
+  const std::string ts = iso8601_timestamp();
+  ASSERT_EQ(ts.size(), 24u);  // YYYY-MM-DDTHH:MM:SS.mmmZ
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u})
+    EXPECT_TRUE(ts[i] >= '0' && ts[i] <= '9') << "at " << i;
+}
+
 TEST(Log, ConcurrentLoggingIsSafe) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kError);  // keep the test output quiet

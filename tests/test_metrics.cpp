@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace dt::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("hits");
+  Counter& b = registry.counter("hits");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("g");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(FixedHistogram, BucketsAndOutOfRange) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 10.0, 5);
+  h.observe(0.0);    // bucket 0 (lo is inclusive)
+  h.observe(1.99);   // bucket 0
+  h.observe(2.0);    // bucket 1
+  h.observe(9.99);   // bucket 4
+  h.observe(10.0);   // hi is exclusive -> overflow
+  h.observe(-0.01);  // underflow
+  h.observe(1e300);  // overflow
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 0u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(FixedHistogram, NanCountsAsUnderflow) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 1.0, 2);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("alpha").add(2);
+  registry.gauge("mid").set(0.5);
+  registry.histogram("hist", 0.0, 1.0, 4).observe(0.5);
+
+  const MetricsSnapshot a = registry.snapshot();
+  const MetricsSnapshot b = registry.snapshot();
+
+  ASSERT_EQ(a.counters.size(), 2u);
+  EXPECT_EQ(a.counters[0].first, "alpha");
+  EXPECT_EQ(a.counters[0].second, 2u);
+  EXPECT_EQ(a.counters[1].first, "zebra");
+  ASSERT_EQ(a.gauges.size(), 1u);
+  EXPECT_EQ(a.gauges[0].first, "mid");
+  ASSERT_EQ(a.histograms.size(), 1u);
+  EXPECT_EQ(a.histograms[0].name, "hist");
+  ASSERT_EQ(a.histograms[0].buckets.size(), 4u);
+  EXPECT_EQ(a.histograms[0].buckets[2], 1u);
+
+  // Same state -> identical snapshots.
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  EXPECT_EQ(a.histograms[0].buckets, b.histograms[0].buckets);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add(5);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  // Re-created after reset, starting fresh.
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromEightThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve through the registry every few iterations to also
+      // exercise the find-or-create lock, not just the atomic adds.
+      Counter& c = registry.counter("shared");
+      FixedHistogram& h = registry.histogram("lat", 0.0, 1.0, 10);
+      for (int i = 0; i < kIncrements; ++i) {
+        c.add();
+        registry.counter("shared2").add(2);
+        h.observe(static_cast<double>(i % 10) / 10.0);
+        registry.gauge("last").set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.counter("shared2").value(),
+            2u * static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.histogram("lat", 0.0, 1.0, 10).total(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  const double last = registry.gauge("last").value();
+  EXPECT_GE(last, 0.0);
+  EXPECT_LT(last, static_cast<double>(kIncrements));
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace dt::obs
