@@ -42,11 +42,33 @@ inline Config parse_args(int argc, char** argv) {
   return cfg;
 }
 
+/// Checkpoint/restart counters and timings accumulated so far (all zero
+/// when the bench never enabled a checkpoint_dir); serialised into every
+/// --json line so save/restore overhead is tracked alongside throughput.
+inline std::string ckpt_metrics_json() {
+  auto& metrics = obs::MetricsRegistry::global();
+  JsonWriter ckpt;
+  ckpt.field("saves",
+             static_cast<std::int64_t>(metrics.counter("ckpt.saves").value()))
+      .field("loads",
+             static_cast<std::int64_t>(metrics.counter("ckpt.loads").value()))
+      .field("bytes_total",
+             static_cast<std::int64_t>(
+                 metrics.counter("ckpt.bytes_total").value()))
+      .field("last_bytes", metrics.gauge("ckpt.last_bytes").value())
+      .field("last_save_seconds",
+             metrics.gauge("ckpt.last_save_seconds").value())
+      .field("last_load_seconds",
+             metrics.gauge("ckpt.last_load_seconds").value());
+  return ckpt.str();
+}
+
 /// Emit a table to stdout and, when --csv=<path> was given, to that file
 /// (suffix inserted before .csv when a bench emits several tables).
 /// When --json=<path> was given, additionally append one JSON line per
-/// table -- {"bench", "tag", "wall_seconds", "columns", "rows"} -- so
-/// bench trajectories can be tracked across commits.
+/// table -- {"bench", "tag", "wall_seconds", "ckpt", "columns", "rows"}
+/// -- so bench trajectories (and checkpoint/resume overhead) can be
+/// tracked across commits.
 inline void emit(const Table& table, const Config& cfg,
                  const std::string& title, const std::string& csv_tag = "") {
   table.print(std::cout, title);
@@ -75,6 +97,7 @@ inline void emit(const Table& table, const Config& cfg,
     line.field("bench", title)
         .field("tag", csv_tag)
         .field("wall_seconds", bench_clock().seconds())
+        .raw("ckpt", ckpt_metrics_json())
         .raw("columns", columns)
         .raw("rows", rows);
     std::ofstream out(json_path, std::ios::app);

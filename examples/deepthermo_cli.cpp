@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "ckpt/signal.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -47,6 +48,16 @@ vae_epochs = 12
 
 # production phase (0 = off)
 production_sweeps = 0
+
+# checkpoint/restart (see README "Checkpoint/restart"): non-empty
+# checkpoint_dir enables periodic crash-consistent saves; SIGUSR1
+# checkpoints immediately, SIGTERM checkpoints then stops; resume = true
+# continues bit-exactly from the newest valid generation.
+checkpoint_dir =
+checkpoint_interval = 25
+checkpoint_min_interval = 1.0
+checkpoint_keep = 3
+resume = false
 
 # post-processing
 t_lo = 0.005
@@ -124,6 +135,13 @@ int main(int argc, char** argv) {
   opts.vae.latent = cfg.get_int("vae_latent", 8);
   opts.vae.epochs = static_cast<int>(cfg.get_int("vae_epochs", 12));
   opts.production_sweeps = cfg.get_int("production_sweeps", 0);
+  opts.checkpoint_dir = cfg.get_string("checkpoint_dir", "");
+  opts.checkpoint_interval_rounds = cfg.get_int("checkpoint_interval", 25);
+  opts.checkpoint_min_interval_seconds =
+      cfg.get_double("checkpoint_min_interval", 1.0);
+  opts.checkpoint_keep = static_cast<int>(cfg.get_int("checkpoint_keep", 3));
+  opts.resume = cfg.get_bool("resume", false);
+  if (!opts.checkpoint_dir.empty()) ckpt::install_signal_handlers();
 
   // n_species == 4 selects the NbMoTaW preset; anything else gets a
   // reproducible random EPI (users with real coefficients use the C++
@@ -140,6 +158,14 @@ int main(int argc, char** argv) {
                                                 opts.seed));
 
   const auto result = framework.run();
+  if (result.rewl.interrupted) {
+    std::printf("interrupted: checkpoint generation %llu saved in %s; "
+                "rerun with resume = true to continue\n",
+                static_cast<unsigned long long>(
+                    result.rewl.last_checkpoint_generation),
+                opts.checkpoint_dir.c_str());
+    return 3;
+  }
   std::printf("converged: %s | DOS bins: %d | ln g span: %.1f | "
               "VAE acceptance: %.3f\n",
               result.rewl.converged ? "yes" : "no", result.dos.num_visited(),

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build with AddressSanitizer + UndefinedBehaviorSanitizer
+# and run the tier-1 test suite under them (see README "Test tiers").
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Uses a dedicated build tree (build-asan/) so the regular build/ stays
+# untouched. Pass e.g. -R Determinism to narrow the run.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDT_ENABLE_SANITIZERS=ON
+cmake --build "${build_dir}" -j "${jobs}"
+
+# abort_on_error makes ASan failures fail the ctest run instead of just
+# printing; detect_leaks stays on (default) to catch checkpoint I/O leaks.
+export ASAN_OPTIONS="abort_on_error=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+
+cd "${build_dir}"
+ctest --output-on-failure -j "${jobs}" -L tier1 "$@"
+echo "check.sh: tier-1 suite clean under ASan/UBSan"

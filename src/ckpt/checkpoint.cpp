@@ -1,0 +1,265 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/telemetry.hpp"
+
+namespace dt::ckpt {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44'54'43'4B'50'54'30'31ULL;  // "DTCKPT01"
+constexpr std::uint32_t kVersion = 1;
+constexpr const char* kSuffix = ".dtc";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const char> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char byte : data)
+    c = table[(c ^ static_cast<std::uint8_t>(byte)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void CheckpointBuilder::add(const std::string& name, std::string payload) {
+  DT_CHECK_MSG(!name.empty(), "checkpoint: empty component name");
+  for (const auto& [existing, blob] : components_)
+    DT_CHECK_MSG(existing != name,
+                 "checkpoint: duplicate component '" << name << "'");
+  components_.emplace_back(name, std::move(payload));
+}
+
+std::string CheckpointBuilder::encode(std::uint64_t generation) const {
+  std::ostringstream os(std::ios::binary);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, generation);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(components_.size()));
+  for (const auto& [name, payload] : components_) {
+    write_string(os, name);
+    write_pod<std::uint32_t>(
+        os, crc32({payload.data(), payload.size()}));
+    write_string(os, payload);
+  }
+  std::string bytes = std::move(os).str();
+  const std::uint32_t file_crc = crc32({bytes.data(), bytes.size()});
+  std::ostringstream trailer(std::ios::binary);
+  write_pod(trailer, file_crc);
+  bytes += std::move(trailer).str();
+  return bytes;
+}
+
+Checkpoint Checkpoint::decode(const std::string& bytes) {
+  DT_CHECK_MSG(bytes.size() > sizeof(kMagic) + sizeof(std::uint32_t),
+               "checkpoint: file too short");
+  // File-level CRC over everything before the 4-byte trailer: catches
+  // truncation and corruption up front.
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
+  DT_CHECK_MSG(crc32({bytes.data(), body}) == stored_crc,
+               "checkpoint: file CRC mismatch (truncated or corrupted)");
+
+  std::istringstream is(bytes.substr(0, body), std::ios::binary);
+  DT_CHECK_MSG(read_pod<std::uint64_t>(is) == kMagic,
+               "checkpoint: bad magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  DT_CHECK_MSG(version == kVersion,
+               "checkpoint: unsupported manifest version " << version);
+  Checkpoint out;
+  out.generation_ = read_pod<std::uint64_t>(is);
+  const auto n = read_pod<std::uint32_t>(is);
+  out.components_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = read_string(is);
+    const auto component_crc = read_pod<std::uint32_t>(is);
+    std::string payload = read_string(is);
+    DT_CHECK_MSG(crc32({payload.data(), payload.size()}) == component_crc,
+                 "checkpoint: component '" << name << "' CRC mismatch");
+    out.components_.emplace_back(std::move(name), std::move(payload));
+  }
+  return out;
+}
+
+bool Checkpoint::has(const std::string& name) const {
+  for (const auto& [n, blob] : components_)
+    if (n == name) return true;
+  return false;
+}
+
+const std::string& Checkpoint::blob(const std::string& name) const {
+  for (const auto& [n, blob] : components_)
+    if (n == name) return blob;
+  throw Error("checkpoint: missing component '" + name + "'");
+}
+
+std::istringstream Checkpoint::stream(const std::string& name) const {
+  return std::istringstream(blob(name), std::ios::binary);
+}
+
+std::vector<std::string> Checkpoint::names() const {
+  std::vector<std::string> out;
+  out.reserve(components_.size());
+  for (const auto& [n, blob] : components_) out.push_back(n);
+  return out;
+}
+
+std::string CheckpointStore::filename(std::uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06llu%s",
+                static_cast<unsigned long long>(generation), kSuffix);
+  return buf;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {
+  DT_CHECK_MSG(keep_last_ >= 1, "checkpoint store must keep >= 1 generation");
+  DT_CHECK_MSG(!dir_.empty(), "checkpoint store needs a directory");
+  std::filesystem::create_directories(dir_);
+  const auto gens = generations();
+  if (!gens.empty()) next_generation_ = gens.back() + 1;
+}
+
+std::vector<std::uint64_t> CheckpointStore::generations() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0 || name.size() < 6 + 4) continue;
+    if (name.substr(name.size() - 4) != kSuffix) continue;
+    const std::string digits = name.substr(5, name.size() - 5 - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    out.push_back(std::stoull(digits));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SaveReport CheckpointStore::save(const CheckpointBuilder& builder) {
+  Stopwatch clock;
+  const std::uint64_t generation = next_generation_++;
+  const std::string bytes = builder.encode(generation);
+
+  const std::string final_path = dir_ + "/" + filename(generation);
+  const std::string tmp_path = final_path + ".tmp";
+
+  // Crash-consistency protocol: write the complete image to a temp file,
+  // fsync it, atomically rename over the final name, then fsync the
+  // directory so the rename itself is durable. A crash at any point
+  // leaves either the previous generation (tmp ignored on load) or the
+  // complete new one.
+  {
+    const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    DT_CHECK_MSG(fd >= 0, "checkpoint: cannot open " << tmp_path);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        ::close(fd);
+        DT_CHECK_MSG(false, "checkpoint: write failed for " << tmp_path);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    DT_CHECK_MSG(synced, "checkpoint: fsync failed for " << tmp_path);
+  }
+  DT_CHECK_MSG(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+               "checkpoint: rename to " << final_path << " failed");
+  {
+    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+
+  // Prune old generations (never the one just written).
+  const auto gens = generations();
+  if (gens.size() > static_cast<std::size_t>(keep_last_)) {
+    const std::size_t drop = gens.size() - static_cast<std::size_t>(keep_last_);
+    for (std::size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      std::filesystem::remove(dir_ + "/" + filename(gens[i]), ec);
+    }
+  }
+
+  SaveReport report;
+  report.generation = generation;
+  report.bytes = bytes.size();
+  report.seconds = clock.seconds();
+  report.path = final_path;
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("ckpt.saves").add();
+  metrics.counter("ckpt.bytes_total").add(report.bytes);
+  metrics.gauge("ckpt.last_bytes").set(static_cast<double>(report.bytes));
+  metrics.gauge("ckpt.last_save_seconds").set(report.seconds);
+  obs::Telemetry& telemetry = obs::Telemetry::instance();
+  if (telemetry.enabled()) {
+    telemetry.emit(obs::Event("checkpoint")
+                       .with("generation", report.generation)
+                       .with("bytes", static_cast<std::uint64_t>(report.bytes))
+                       .with("seconds", report.seconds)
+                       .with("path", report.path));
+  }
+  return report;
+}
+
+std::optional<Checkpoint> CheckpointStore::load_latest() const {
+  const auto gens = generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    auto ckpt = load_generation(*it);
+    if (ckpt) return ckpt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Checkpoint> CheckpointStore::load_generation(
+    std::uint64_t generation) const {
+  const std::string path = dir_ + "/" + filename(generation);
+  Stopwatch clock;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buffer(std::ios::binary);
+  buffer << in.rdbuf();
+  try {
+    auto ckpt = Checkpoint::decode(std::move(buffer).str());
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter("ckpt.loads").add();
+    metrics.gauge("ckpt.last_load_seconds").set(clock.seconds());
+    return ckpt;
+  } catch (const Error& e) {
+    DT_LOG_WARN << "checkpoint: skipping invalid " << path << ": "
+                << e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace dt::ckpt

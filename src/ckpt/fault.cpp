@@ -1,0 +1,59 @@
+#include "ckpt/fault.hpp"
+
+namespace dt::ckpt {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, std::int64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_site_ = site;
+  remaining_ = skip_hits;
+  armed_fault_.store(true, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_site_.clear();
+  remaining_ = 0;
+  armed_fault_.store(false, std::memory_order_relaxed);
+  active_.store(counting_, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_visits(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counting_ = enabled;
+  active_.store(counting_ || armed_fault_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+std::int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void FaultInjector::reset_counts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.clear();
+}
+
+void FaultInjector::visit(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counting_) ++counts_[site];
+  if (armed_fault_.load(std::memory_order_relaxed) && armed_site_ == site) {
+    if (remaining_-- <= 0) {
+      // One-shot: a real crash does not repeat either, and the resumed
+      // pipeline revisits the same site.
+      armed_site_.clear();
+      armed_fault_.store(false, std::memory_order_relaxed);
+      active_.store(counting_, std::memory_order_relaxed);
+      throw FaultInjected(site);
+    }
+  }
+}
+
+}  // namespace dt::ckpt

@@ -1,0 +1,76 @@
+// Fault injection for crash-consistency testing.
+//
+// Production code marks kill-candidate sites with fault_point("name");
+// a disarmed injector makes that a single relaxed atomic load. Tests arm
+// the injector at a (site, countdown) and the matching visit throws
+// FaultInjected out of the pipeline -- on a minicomm rank thread this
+// aborts the whole run, exactly like a preempted node would. The test
+// then rebuilds the pipeline with resume enabled and asserts bit-exact
+// continuation from the last checkpoint.
+//
+// Visits are also counted per site (armed or not), so a test can first
+// measure how many times a site fires in a reference run and then pick
+// kill points anywhere in that range.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace dt::ckpt {
+
+/// Thrown when an armed fault point triggers. Deliberately NOT a
+/// dt::Error: a fault is a simulated crash, not a contract violation.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("fault injected at '" + site + "'") {}
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arm: the (skip_hits + 1)-th visit of `site` throws FaultInjected.
+  /// One-shot -- the trigger disarms, so the resumed pipeline passes the
+  /// same site unharmed.
+  void arm(const std::string& site, std::int64_t skip_hits);
+  void disarm();
+
+  /// Enable per-site visit counting (off by default; turning it on makes
+  /// every fault_point take the registry mutex).
+  void count_visits(bool enabled);
+  /// Visits of `site` since the last reset_counts() while counting was on.
+  [[nodiscard]] std::int64_t hits(const std::string& site) const;
+  void reset_counts();
+
+  /// True when a fault is armed or counting is on (fast-path gate).
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by instrumented code via fault_point().
+  void visit(const char* site);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> active_{false};
+  std::atomic<bool> armed_fault_{false};
+  mutable std::mutex mutex_;
+  bool counting_ = false;
+  std::string armed_site_;
+  std::int64_t remaining_ = 0;
+  std::map<std::string, std::int64_t> counts_;
+};
+
+/// Kill-candidate marker; near-free unless a test armed the injector.
+inline void fault_point(const char* site) {
+  FaultInjector& f = FaultInjector::instance();
+  if (f.active()) f.visit(site);
+}
+
+}  // namespace dt::ckpt

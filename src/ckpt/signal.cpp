@@ -1,0 +1,60 @@
+#include "ckpt/signal.hpp"
+
+#include <csignal>
+
+namespace dt::ckpt {
+
+SignalFlags& SignalFlags::instance() {
+  static SignalFlags flags;
+  return flags;
+}
+
+bool SignalFlags::consume_save_request() {
+  return save_.exchange(false, std::memory_order_relaxed);
+}
+
+bool SignalFlags::stop_requested() const {
+  return stop_.load(std::memory_order_relaxed);
+}
+
+void SignalFlags::request_save() {
+  save_.store(true, std::memory_order_relaxed);
+}
+
+void SignalFlags::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+void SignalFlags::reset() {
+  save_.store(false, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+}
+
+namespace {
+
+// std::atomic<bool> store with relaxed order is async-signal-safe on
+// every platform we build for (lock-free bool).
+void on_sigusr1(int) { SignalFlags::instance().request_save(); }
+
+void on_sigterm(int) {
+  SignalFlags::instance().request_save();
+  SignalFlags::instance().request_stop();
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction usr1 {};
+  usr1.sa_handler = on_sigusr1;
+  sigemptyset(&usr1.sa_mask);
+  usr1.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &usr1, nullptr);
+
+  struct sigaction term {};
+  term.sa_handler = on_sigterm;
+  sigemptyset(&term.sa_mask);
+  term.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &term, nullptr);
+}
+
+}  // namespace dt::ckpt

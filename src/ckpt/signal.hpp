@@ -1,0 +1,41 @@
+// Signal-triggered checkpointing.
+//
+// install_signal_handlers() routes SIGUSR1 (checkpoint now, keep
+// running -- the cluster-preemption warning convention) and SIGTERM
+// (checkpoint, then stop gracefully) into async-signal-safe flags. The
+// REWL driver polls the flags at exchange-block boundaries, the only
+// points where a globally consistent snapshot exists.
+//
+// Tests drive the same paths without real signals via request_save() /
+// request_stop().
+#pragma once
+
+#include <atomic>
+
+namespace dt::ckpt {
+
+class SignalFlags {
+ public:
+  static SignalFlags& instance();
+
+  /// Consume a pending save request (test-and-clear: one checkpoint per
+  /// SIGUSR1).
+  bool consume_save_request();
+  /// Stop requests are sticky -- once asked to stop, stay stopping.
+  [[nodiscard]] bool stop_requested() const;
+
+  void request_save();
+  void request_stop();
+  void reset();
+
+ private:
+  SignalFlags() = default;
+  std::atomic<bool> save_{false};
+  std::atomic<bool> stop_{false};
+};
+
+/// Install SIGUSR1 -> request_save and SIGTERM -> request_save +
+/// request_stop handlers on the process-wide SignalFlags. Idempotent.
+void install_signal_handlers();
+
+}  // namespace dt::ckpt

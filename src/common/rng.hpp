@@ -57,6 +57,11 @@ class Xoshiro256ss {
   /// Advance 2^128 steps; gives independent non-overlapping subsequences.
   void jump();
 
+  /// Full engine state for checkpointing; set_state() resumes the exact
+  /// sequence position.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -53,6 +54,24 @@ std::vector<T> read_vector(std::istream& is) {
     DT_CHECK_MSG(is.good(), "serialize: truncated stream");
   }
   return data;
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  if (!s.empty()) {
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    DT_CHECK_MSG(os.good(), "serialize: write failed");
+  }
+}
+
+inline std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::string s(n, '\0');
+  if (n > 0) {
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    DT_CHECK_MSG(is.good(), "serialize: truncated stream");
+  }
+  return s;
 }
 
 }  // namespace dt

@@ -1,11 +1,14 @@
 #include "core/framework.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 
+#include "ckpt/fault.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/math.hpp"
+#include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "mc/metropolis.hpp"
 #include "mc/multicanonical.hpp"
@@ -18,10 +21,71 @@ namespace dt::core {
 
 namespace {
 
+constexpr std::uint64_t kFrameworkMagic = 0x44'54'46'52'41'4D'45'31ULL;
+
+/// Binary (bit-exact) DOS serialisation for checkpoints; the text
+/// DensityOfStates::save is for human consumption and does not round-trip
+/// doubles exactly.
+void write_dos(std::ostream& os, const mc::DensityOfStates& dos) {
+  // A default-constructed DOS has no bin storage; num_visited() is the
+  // only accessor that is safe on it.
+  const std::uint8_t has = dos.num_visited() > 0 ? 1 : 0;
+  write_pod(os, has);
+  if (has == 0) return;
+  write_pod(os, dos.grid().e_min());
+  write_pod(os, dos.grid().e_max());
+  write_pod(os, dos.grid().n_bins());
+  for (std::int32_t b = 0; b < dos.grid().n_bins(); ++b) {
+    const std::uint8_t v = dos.visited(b) ? 1 : 0;
+    write_pod(os, v);
+    if (v != 0) write_pod(os, dos.log_g(b));
+  }
+}
+
+mc::DensityOfStates read_dos(std::istream& is) {
+  if (read_pod<std::uint8_t>(is) == 0) return {};
+  const auto e_min = read_pod<double>(is);
+  const auto e_max = read_pod<double>(is);
+  const auto n_bins = read_pod<std::int32_t>(is);
+  mc::DensityOfStates dos{mc::EnergyGrid(e_min, e_max, n_bins)};
+  for (std::int32_t b = 0; b < n_bins; ++b)
+    if (read_pod<std::uint8_t>(is) != 0) dos.set(b, read_pod<double>(is));
+  return dos;
+}
+
+void write_rewl_result(std::ostream& os, const par::RewlResult& r) {
+  write_dos(os, r.dos);
+  write_vector(os, r.windows);
+  write_pod<std::uint8_t>(os, r.converged ? 1 : 0);
+  write_pod(os, r.total_sweeps);
+  write_pod(os, r.wall_seconds);
+  write_pod(os, r.last_checkpoint_generation);
+  write_vector(os, r.walker_energies);
+  write_vector(os, r.walker_rng_positions);
+}
+
+par::RewlResult read_rewl_result(std::istream& is) {
+  par::RewlResult r;
+  r.dos = read_dos(is);
+  r.windows = read_vector<par::RewlWindowReport>(is);
+  r.converged = read_pod<std::uint8_t>(is) != 0;
+  r.total_sweeps = read_pod<std::int64_t>(is);
+  r.wall_seconds = read_pod<double>(is);
+  r.last_checkpoint_generation = read_pod<std::uint64_t>(is);
+  r.walker_energies = read_vector<double>(is);
+  r.walker_rng_positions = read_vector<std::uint64_t>(is);
+  return r;
+}
+
 mc::EnergyGrid build_grid(const lattice::EpiHamiltonian& hamiltonian,
                           const lattice::Lattice& lat,
                           const DeepThermoOptions& options) {
   DT_SPAN("bracket_range");
+  // Validate before quenching: this runs from Framework's initializer
+  // list, ahead of the constructor-body checks, and a species mismatch
+  // would index the Hamiltonian's coupling table out of bounds.
+  DT_CHECK_MSG(hamiltonian.n_species() == options.n_species,
+               "Hamiltonian species count does not match options");
   mc::Rng rng(options.seed, stream_id(0xE0, 0));
   lattice::Configuration cfg =
       lattice::random_configuration(lat, options.n_species, rng);
@@ -86,13 +150,7 @@ double Framework::normalized_energy(double energy) const {
   return std::clamp(frac, 0.0, 1.0);
 }
 
-nn::TrainReport Framework::pretrain() {
-  DT_SPAN("pretrain");
-  const PretrainOptions& po = options_.pretrain;
-  DT_CHECK(po.n_temperatures >= 1);
-  DT_CHECK(po.t_hi >= po.t_lo && po.t_lo > 0.0);
-
-  const std::int32_t cond_dim = options_.condition_on_energy ? 1 : 0;
+nn::VaeOptions Framework::make_vae_options() const {
   nn::VaeOptions vo;
   vo.n_sites = lattice_.num_sites();
   vo.n_species = options_.n_species;
@@ -100,56 +158,115 @@ nn::TrainReport Framework::pretrain() {
   vo.latent = options_.vae.latent;
   vo.kl_weight = options_.vae.kl_weight;
   vo.prob_floor = options_.vae.prob_floor;
-  vo.condition_dim = cond_dim;
-  vae_ = std::make_shared<nn::Vae>(vo, options_.seed);
+  vo.condition_dim = options_.condition_on_energy ? 1 : 0;
+  return vo;
+}
 
-  // ---- data generation: annealing ladder, high T -> low T ----
-  obs::ScopedSpan ladder_span("pretrain.ladder");
+void Framework::save_framework_component(ckpt::CheckpointBuilder& builder,
+                                         Phase phase) const {
+  builder.component("framework", [&](std::ostream& os) {
+    write_pod(os, kFrameworkMagic);
+    write_pod(os, static_cast<std::int32_t>(phase));
+    write_vector(os, loss_trace_);
+  });
+}
+
+nn::TrainReport Framework::pretrain() {
+  return pretrain_impl(nullptr, nullptr);
+}
+
+nn::TrainReport Framework::pretrain_impl(ckpt::CheckpointStore* store,
+                                         const ckpt::Checkpoint* resume) {
+  DT_SPAN("pretrain");
+  const PretrainOptions& po = options_.pretrain;
+  DT_CHECK(po.n_temperatures >= 1);
+  DT_CHECK(po.t_hi >= po.t_lo && po.t_lo > 0.0);
+
+  const std::int32_t cond_dim = options_.condition_on_energy ? 1 : 0;
+  vae_ = std::make_shared<nn::Vae>(make_vae_options(), options_.seed);
+
   nn::ConfigDataset dataset(lattice_.num_sites(),
                             options_.vae.dataset_capacity, cond_dim);
-  Xoshiro256ss reservoir_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
 
-  mc::Rng init_rng(options_.seed, stream_id(0xAA, 0));
-  lattice::Configuration cfg =
-      lattice::random_configuration(lattice_, options_.n_species, init_rng);
-  mc::MetropolisSampler sampler(hamiltonian_, cfg, po.t_hi,
-                                mc::Rng(options_.seed, stream_id(0xAA, 1)));
-  mc::LocalSwapProposal kernel(hamiltonian_);
-
-  for (int t_idx = 0; t_idx < po.n_temperatures; ++t_idx) {
-    // Geometric ladder hits ordering scales more evenly than linear.
-    const double frac =
-        po.n_temperatures == 1
-            ? 0.0
-            : static_cast<double>(t_idx) /
-                  static_cast<double>(po.n_temperatures - 1);
-    const double t = po.t_hi * std::pow(po.t_lo / po.t_hi, frac);
-    sampler.set_temperature(t);
-    sampler.run(kernel, po.equilibration_sweeps);
-    for (int k = 0; k < po.samples_per_temperature; ++k) {
-      sampler.run(kernel, po.sweeps_between_samples);
-      if (cond_dim > 0) {
-        const float c = static_cast<float>(
-            normalized_energy(sampler.energy()));
-        dataset.add(sampler.configuration().occupancy(), reservoir_rng,
-                    std::span<const float>(&c, 1));
-      } else {
-        dataset.add(sampler.configuration().occupancy(), reservoir_rng);
-      }
-    }
-  }
-
-  ladder_span.end();
-
-  // ---- fit ----
-  DT_SPAN("pretrain.fit");
   nn::TrainOptions to;
   to.epochs = options_.vae.epochs;
   to.batch_size = options_.vae.batch_size;
   to.learning_rate = options_.vae.learning_rate;
   to.seed = options_.seed ^ 0xD1B54A32D192ED03ULL;
   nn::Trainer trainer(*vae_, to);
-  nn::TrainReport report = trainer.fit(dataset);
+
+  std::int32_t first_epoch = 0;
+  if (resume != nullptr) {
+    // Mid-pretrain resume: the ladder data is in the checkpoint, so the
+    // annealing phase is skipped entirely.
+    auto meta = resume->stream("pretrain.meta");
+    first_epoch = read_pod<std::int32_t>(meta);
+    auto vs = resume->stream("pretrain.vae");
+    vae_->load(vs);
+    auto ds = resume->stream("pretrain.dataset");
+    dataset.load_state(ds);
+    auto ts = resume->stream("pretrain.trainer");
+    trainer.load_state(ts);
+    DT_LOG_INFO << "pretrain: resuming at epoch " << first_epoch;
+  } else {
+    // ---- data generation: annealing ladder, high T -> low T ----
+    obs::ScopedSpan ladder_span("pretrain.ladder");
+    Xoshiro256ss reservoir_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+    mc::Rng init_rng(options_.seed, stream_id(0xAA, 0));
+    lattice::Configuration cfg =
+        lattice::random_configuration(lattice_, options_.n_species, init_rng);
+    mc::MetropolisSampler sampler(hamiltonian_, cfg, po.t_hi,
+                                  mc::Rng(options_.seed, stream_id(0xAA, 1)));
+    mc::LocalSwapProposal kernel(hamiltonian_);
+
+    for (int t_idx = 0; t_idx < po.n_temperatures; ++t_idx) {
+      // Geometric ladder hits ordering scales more evenly than linear.
+      const double frac =
+          po.n_temperatures == 1
+              ? 0.0
+              : static_cast<double>(t_idx) /
+                    static_cast<double>(po.n_temperatures - 1);
+      const double t = po.t_hi * std::pow(po.t_lo / po.t_hi, frac);
+      sampler.set_temperature(t);
+      sampler.run(kernel, po.equilibration_sweeps);
+      for (int k = 0; k < po.samples_per_temperature; ++k) {
+        sampler.run(kernel, po.sweeps_between_samples);
+        if (cond_dim > 0) {
+          const float c = static_cast<float>(
+              normalized_energy(sampler.energy()));
+          dataset.add(sampler.configuration().occupancy(), reservoir_rng,
+                      std::span<const float>(&c, 1));
+        } else {
+          dataset.add(sampler.configuration().occupancy(), reservoir_rng);
+        }
+      }
+    }
+  }
+
+  // ---- fit ----
+  DT_SPAN("pretrain.fit");
+  nn::EpochHook epoch_hook = [&](std::int32_t epoch, float loss) {
+    loss_trace_.push_back(loss);
+    const std::int32_t cadence = options_.checkpoint_pretrain_epochs;
+    if (store != nullptr && cadence > 0 && (epoch + 1) % cadence == 0 &&
+        epoch + 1 < to.epochs) {
+      ckpt::fault_point("pretrain.epoch");
+      ckpt::CheckpointBuilder builder;
+      save_framework_component(builder, Phase::kPretrain);
+      builder.component("pretrain.meta", [&](std::ostream& os) {
+        write_pod<std::int32_t>(os, epoch + 1);
+      });
+      builder.component("pretrain.vae",
+                        [&](std::ostream& os) { vae_->save(os); });
+      builder.component("pretrain.dataset",
+                        [&](std::ostream& os) { dataset.save_state(os); });
+      builder.component("pretrain.trainer",
+                        [&](std::ostream& os) { trainer.save_state(os); });
+      store->save(builder);
+    }
+  };
+  nn::TrainReport report = trainer.fit(dataset, epoch_hook, first_epoch);
 
   std::ostringstream weights;
   vae_->save(weights);
@@ -165,11 +282,63 @@ DeepThermoResult Framework::run() {
   DeepThermoResult result;
   result.grid = grid_;
 
+  // ---- checkpoint/restart wiring ----
+  const bool ckpt_enabled = !options_.checkpoint_dir.empty();
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  std::optional<ckpt::Checkpoint> resume_ck;
+  Phase resume_phase = Phase::kPretrain;
+  bool resuming = false;
+  if (ckpt_enabled) {
+    store = std::make_unique<ckpt::CheckpointStore>(options_.checkpoint_dir,
+                                                    options_.checkpoint_keep);
+    if (options_.resume) {
+      resume_ck = store->load_latest();
+      if (resume_ck.has_value()) {
+        DT_CHECK_MSG(resume_ck->has("framework"),
+                     "resume: checkpoint lacks the framework component");
+        auto fs = resume_ck->stream("framework");
+        DT_CHECK_MSG(read_pod<std::uint64_t>(fs) == kFrameworkMagic,
+                     "resume: framework component has a bad magic");
+        resume_phase = static_cast<Phase>(read_pod<std::int32_t>(fs));
+        loss_trace_ = read_vector<float>(fs);
+        resuming = true;
+        result.resumed = true;
+        DT_LOG_INFO << "resume: generation " << resume_ck->generation()
+                    << ", phase " << static_cast<int>(resume_phase);
+      } else {
+        DT_LOG_INFO
+            << "resume requested but no valid checkpoint found in '"
+            << options_.checkpoint_dir << "'; starting fresh";
+      }
+    }
+  }
+
+  // Resuming past pretrain: rebuild the shared VAE from the checkpointed
+  // pretrained weights instead of re-training.
+  if (resuming && resume_phase != Phase::kPretrain && options_.use_vae) {
+    pretrained_weights_ = resume_ck->blob("vae.pretrained");
+    vae_ = std::make_shared<nn::Vae>(make_vae_options(), options_.seed);
+    std::istringstream in(pretrained_weights_, std::ios::binary);
+    vae_->load(in);
+  }
+
   Stopwatch pretrain_clock;
-  if (options_.use_vae && !vae_) result.pretrain_report = pretrain();
+  if (options_.use_vae && !vae_) {
+    const ckpt::Checkpoint* pretrain_resume =
+        resuming && resume_phase == Phase::kPretrain ? &*resume_ck : nullptr;
+    result.pretrain_report = pretrain_impl(store.get(), pretrain_resume);
+    if (store != nullptr) {
+      // Phase-transition checkpoint: pretrain done, REWL not started.
+      ckpt::CheckpointBuilder builder;
+      save_framework_component(builder, Phase::kRewl);
+      builder.add("vae.pretrained", pretrained_weights_);
+      store->save(builder);
+    }
+  }
   result.pretrain_seconds = pretrain_clock.seconds();
 
   const int n_ranks = options_.rewl.total_ranks();
+  const bool skip_rewl = resuming && resume_phase == Phase::kProduction;
 
   // Per-rank sampling state, created on each rank's own thread by the
   // factory and read back after run_rewl joins them.
@@ -247,24 +416,120 @@ DeepThermoResult Framework::run() {
     };
   }
 
-  Stopwatch sample_clock;
-  {
-    DT_SPAN("rewl");
-    result.rewl = par::run_rewl(hamiltonian_, lattice_, options_.n_species,
-                                grid_, options_.rewl, factory, hook);
-  }
-  result.sample_seconds = sample_clock.seconds();
+  if (skip_rewl) {
+    // The checkpoint was taken after REWL finished: restore its result
+    // and rerun only the (deterministic) production + normalisation.
+    auto rs = resume_ck->stream("rewl.result");
+    result.rewl = read_rewl_result(rs);
+    result.vae_stats = read_pod<VaeProposalStats>(rs);
+    result.local_stats = read_pod<KernelStats>(rs);
+    if (resume_ck->has("vae.final"))
+      result.final_vae_weights = resume_ck->blob("vae.final");
+  } else {
+    par::RewlCheckpointConfig rewl_ckpt;
+    const par::RewlCheckpointConfig* rewl_ckpt_ptr = nullptr;
+    if (store != nullptr) {
+      rewl_ckpt.store = store.get();
+      rewl_ckpt.interval_rounds = options_.checkpoint_interval_rounds;
+      rewl_ckpt.min_interval_seconds =
+          options_.checkpoint_min_interval_seconds;
+      rewl_ckpt.signals = &ckpt::SignalFlags::instance();
+      if (resuming && resume_phase == Phase::kRewl &&
+          resume_ck->has("rewl.meta"))
+        rewl_ckpt.resume_from = &*resume_ck;
+      rewl_ckpt.add_components = [&](ckpt::CheckpointBuilder& builder) {
+        save_framework_component(builder, Phase::kRewl);
+        if (options_.use_vae)
+          builder.add("vae.pretrained", pretrained_weights_);
+      };
+      if (options_.use_vae) {
+        rewl_ckpt.save_extra = [&](int rank, std::ostream& os) {
+          const RankState& st = states[static_cast<std::size_t>(rank)];
+          st.vae->save(os);
+          const std::uint8_t has_retrain = st.trainer ? 1 : 0;
+          write_pod(os, has_retrain);
+          if (has_retrain != 0) {
+            st.trainer->save_state(os);
+            st.dataset->save_state(os);
+            write_pod(os, st.reservoir_rng.state());
+            write_pod(os, st.rounds);
+          }
+        };
+        rewl_ckpt.load_extra = [&](int rank, std::istream& is) {
+          RankState& st = states[static_cast<std::size_t>(rank)];
+          st.vae->load(is);
+          const auto has_retrain = read_pod<std::uint8_t>(is);
+          DT_CHECK_MSG((has_retrain != 0) == (st.trainer != nullptr),
+                       "resume: retrain wiring does not match checkpoint");
+          if (has_retrain != 0) {
+            st.trainer->load_state(is);
+            st.dataset->load_state(is);
+            st.reservoir_rng.set_state(
+                read_pod<std::array<std::uint64_t, 4>>(is));
+            st.rounds = read_pod<std::int64_t>(is);
+          }
+        };
+      }
+      rewl_ckpt_ptr = &rewl_ckpt;
+    }
 
-  // Aggregate per-kernel stats (threads are joined; states are ours).
-  for (const RankState& st : states) {
-    if (st.kernel == nullptr) continue;
-    result.vae_stats.proposed += st.kernel->vae_stats().proposed;
-    result.vae_stats.reverted += st.kernel->vae_stats().reverted;
-    result.local_stats.proposed += st.kernel->local_stats().proposed;
-    result.local_stats.reverted += st.kernel->local_stats().reverted;
+    Stopwatch sample_clock;
+    {
+      DT_SPAN("rewl");
+      result.rewl =
+          par::run_rewl(hamiltonian_, lattice_, options_.n_species, grid_,
+                        options_.rewl, factory, hook, rewl_ckpt_ptr);
+    }
+    result.sample_seconds = sample_clock.seconds();
+
+    // Aggregate per-kernel stats (threads are joined; states are ours).
+    for (const RankState& st : states) {
+      if (st.kernel == nullptr) continue;
+      result.vae_stats.proposed += st.kernel->vae_stats().proposed;
+      result.vae_stats.reverted += st.kernel->vae_stats().reverted;
+      result.local_stats.proposed += st.kernel->local_stats().proposed;
+      result.local_stats.reverted += st.kernel->local_stats().reverted;
+    }
+
+    if (options_.use_vae) {
+      const RankState& st0 = states[0];
+      if (st0.vae != nullptr) {
+        std::ostringstream weights(std::ios::binary);
+        st0.vae->save(weights);
+        result.final_vae_weights = std::move(weights).str();
+      } else {
+        result.final_vae_weights = pretrained_weights_;
+      }
+    }
+
+    if (store != nullptr && !result.rewl.interrupted) {
+      // Phase-transition checkpoint: REWL result banked; production and
+      // normalisation are deterministic re-runs from here.
+      ckpt::CheckpointBuilder builder;
+      save_framework_component(builder, Phase::kProduction);
+      if (options_.use_vae) {
+        builder.add("vae.pretrained", pretrained_weights_);
+        builder.add("vae.final", result.final_vae_weights);
+      }
+      builder.component("rewl.result", [&](std::ostream& os) {
+        write_rewl_result(os, result.rewl);
+        write_pod(os, result.vae_stats);
+        write_pod(os, result.local_stats);
+      });
+      store->save(builder);
+    }
   }
 
+  result.vae_loss_trace = loss_trace_;
   result.dos = result.rewl.dos;
+
+  if (result.rewl.interrupted) {
+    // Stopped early (SIGTERM-style) after a final checkpoint; skip the
+    // production phase and normalisation -- the DOS is not stitched yet.
+    obs::Telemetry& telemetry = obs::Telemetry::instance();
+    if (telemetry.enabled()) telemetry.finish();
+    return result;
+  }
 
   // ---- optional multicanonical production phase ----
   if (options_.production_sweeps > 0 && result.rewl.dos.num_visited() > 1) {

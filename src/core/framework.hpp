@@ -100,6 +100,24 @@ struct DeepThermoOptions {
   /// production histogram (0 disables). Removes the final-ln f bias and
   /// yields a flatness quality metric (DeepThermoResult).
   std::int64_t production_sweeps = 0;
+  /// Run-level checkpoint/restart. Non-empty `checkpoint_dir` enables
+  /// periodic crash-consistent saves (see src/ckpt): every
+  /// `checkpoint_interval_rounds` REWL exchange rounds, every
+  /// `checkpoint_pretrain_epochs` VAE pretrain epochs (0: none mid-
+  /// pretrain), at every phase transition, and on SIGUSR1/SIGTERM when
+  /// ckpt::install_signal_handlers() is active. With `resume` set, run()
+  /// restores the newest valid generation and continues bit-exactly.
+  std::string checkpoint_dir;
+  std::int64_t checkpoint_interval_rounds = 25;
+  /// Wall-clock floor between periodic REWL saves (seconds): bounds
+  /// checkpoint overhead at roughly save_cost / floor even when exchange
+  /// rounds are much faster than `checkpoint_interval_rounds` assumes.
+  /// 0 disables the throttle (saves strictly every interval_rounds --
+  /// what the fault-injection tests use for reproducible kill points).
+  double checkpoint_min_interval_seconds = 1.0;
+  std::int32_t checkpoint_pretrain_epochs = 0;
+  int checkpoint_keep = 3;
+  bool resume = false;
   std::uint64_t seed = 42;
 };
 
@@ -117,6 +135,15 @@ struct DeepThermoResult {
   /// 0 when no production phase ran.
   double production_flatness = 0.0;
   double production_seconds = 0.0;
+  /// Per-epoch VAE pretrain losses, accumulated across checkpoint/resume
+  /// boundaries (the fault-injection harness asserts this trace is
+  /// bit-identical between an interrupted+resumed run and a straight one).
+  std::vector<float> vae_loss_trace;
+  /// Rank-0 VAE weights after the run (empty when use_vae == false);
+  /// bit-compared by the same harness.
+  std::string final_vae_weights;
+  /// True when this result came out of a resumed run.
+  bool resumed = false;
 };
 
 class Framework {
@@ -158,12 +185,29 @@ class Framework {
       std::size_t n_points);
 
  private:
+  /// Where run() currently is / where a checkpoint was taken. Serialized
+  /// into the "framework" checkpoint component; resume dispatches on it
+  /// (see DESIGN.md "Resume state machine").
+  enum class Phase : std::int32_t {
+    kPretrain = 0,
+    kRewl = 1,
+    kProduction = 2,
+  };
+
+  [[nodiscard]] nn::VaeOptions make_vae_options() const;
+  /// pretrain() with optional mid-training checkpointing/resume.
+  nn::TrainReport pretrain_impl(ckpt::CheckpointStore* store,
+                                const ckpt::Checkpoint* resume);
+  void save_framework_component(ckpt::CheckpointBuilder& builder,
+                                Phase phase) const;
+
   DeepThermoOptions options_;
   lattice::Lattice lattice_;
   lattice::EpiHamiltonian hamiltonian_;
   mc::EnergyGrid grid_;
   std::shared_ptr<nn::Vae> vae_;
   std::string pretrained_weights_;  ///< serialized, for per-rank replicas
+  std::vector<float> loss_trace_;   ///< pretrain losses across resumes
 };
 
 }  // namespace dt::core

@@ -325,7 +325,15 @@ void WangLandauSampler::load_state(std::istream& is) {
   for (std::int32_t b = 0; b < dos_.grid().n_bins(); ++b)
     if (visited[static_cast<std::size_t>(b)])
       dos_.set(b, values[static_cast<std::size_t>(b)]);
-  DT_CHECK_MSG(std::abs(energy_ - hamiltonian_->total_energy(*cfg_)) < 1e-6,
+  // Audit tolerance scales with system size: the incrementally updated
+  // energy accumulates rounding drift proportional to the number of
+  // per-site delta additions, so a fixed 1e-6 rejects legitimate
+  // checkpoints of large lattices after long delta-update runs.
+  const double audit_tol =
+      1e-9 * static_cast<double>(cfg_->num_sites()) *
+      std::max(1.0, std::abs(energy_));
+  DT_CHECK_MSG(std::abs(energy_ - hamiltonian_->total_energy(*cfg_)) <
+                   audit_tol,
                "WL checkpoint: energy/configuration inconsistency");
 }
 

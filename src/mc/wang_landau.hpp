@@ -99,6 +99,9 @@ class WangLandauSampler {
   [[nodiscard]] const WangLandauStats& stats() const { return stats_; }
   [[nodiscard]] double log_f() const { return log_f_; }
   [[nodiscard]] double energy() const { return energy_; }
+  /// Absolute position of the walker's Philox stream (checkpoint
+  /// verification: a resumed run must match draw-for-draw).
+  [[nodiscard]] std::uint64_t rng_position() const { return rng_.position(); }
   [[nodiscard]] std::int32_t current_bin() const { return current_bin_; }
   [[nodiscard]] lattice::Configuration& configuration() { return *cfg_; }
   [[nodiscard]] const WangLandauOptions& options() const { return options_; }

@@ -1,10 +1,14 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -63,6 +67,40 @@ void ConfigDataset::clear() {
   seen_ = 0;
 }
 
+namespace {
+constexpr std::uint64_t kDatasetMagic = 0x44'54'44'41'54'41'30'31ULL;
+constexpr std::uint64_t kTrainerMagic = 0x44'54'54'52'4E'52'30'31ULL;
+}  // namespace
+
+void ConfigDataset::save_state(std::ostream& os) const {
+  write_pod(os, kDatasetMagic);
+  write_pod(os, n_sites_);
+  write_pod(os, condition_dim_);
+  write_pod<std::uint64_t>(os, capacity_);
+  write_pod<std::uint64_t>(os, count_);
+  write_pod(os, seen_);
+  write_vector(os, storage_);
+  write_vector(os, conditions_);
+}
+
+void ConfigDataset::load_state(std::istream& is) {
+  DT_CHECK_MSG(read_pod<std::uint64_t>(is) == kDatasetMagic,
+               "dataset checkpoint: bad magic");
+  DT_CHECK_MSG(read_pod<std::int32_t>(is) == n_sites_ &&
+                   read_pod<std::int32_t>(is) == condition_dim_ &&
+                   read_pod<std::uint64_t>(is) == capacity_,
+               "dataset checkpoint: geometry mismatch");
+  count_ = read_pod<std::uint64_t>(is);
+  seen_ = read_pod<std::uint64_t>(is);
+  storage_ = read_vector<std::uint8_t>(is);
+  conditions_ = read_vector<float>(is);
+  DT_CHECK_MSG(storage_.size() ==
+                       count_ * static_cast<std::size_t>(n_sites_) &&
+                   conditions_.size() ==
+                       count_ * static_cast<std::size_t>(condition_dim_),
+               "dataset checkpoint: payload size mismatch");
+}
+
 Trainer::Trainer(Vae& vae, TrainOptions options)
     : vae_(&vae),
       options_(options),
@@ -95,6 +133,19 @@ VaeLossParts Trainer::train_batch(std::span<const std::uint8_t> occupancies,
 
 void Trainer::apply_step() { optimizer_.step(); }
 
+void Trainer::save_state(std::ostream& os) const {
+  write_pod(os, kTrainerMagic);
+  write_pod(os, rng_.state());
+  optimizer_.save_state(os);
+}
+
+void Trainer::load_state(std::istream& is) {
+  DT_CHECK_MSG(read_pod<std::uint64_t>(is) == kTrainerMagic,
+               "trainer checkpoint: bad magic");
+  rng_.set_state(read_pod<std::array<std::uint64_t, 4>>(is));
+  optimizer_.load_state(is);
+}
+
 float Trainer::gradient_norm() const {
   double sum_sq = 0.0;
   for (const auto& p : vae_->parameters()) {
@@ -105,10 +156,13 @@ float Trainer::gradient_norm() const {
   return static_cast<float>(std::sqrt(sum_sq));
 }
 
-TrainReport Trainer::fit(const ConfigDataset& dataset) {
+TrainReport Trainer::fit(const ConfigDataset& dataset, const EpochHook& hook,
+                         std::int32_t first_epoch) {
   DT_SPAN("nn.fit");
   DT_CHECK_MSG(dataset.size() > 0, "fit() on an empty dataset");
   DT_CHECK(dataset.n_sites() == vae_->options().n_sites);
+  DT_CHECK_MSG(first_epoch >= 0 && first_epoch <= options_.epochs,
+               "fit(): first_epoch out of range");
 
   const auto n_samples = dataset.size();
   const auto n_sites = static_cast<std::size_t>(dataset.n_sites());
@@ -121,8 +175,12 @@ TrainReport Trainer::fit(const ConfigDataset& dataset) {
   TrainReport report;
   std::vector<std::uint8_t> batch_buf;
   std::vector<float> cond_buf;
-  for (std::int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    // Fisher-Yates shuffle of the visit order.
+  for (std::int32_t epoch = first_epoch; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates shuffle of the visit order, restarted from the
+    // identity so each epoch's order is a pure function of the RNG state
+    // at its start -- a mid-training checkpoint resume (which restores
+    // the RNG but not the evolved permutation) then replays identically.
+    std::iota(order.begin(), order.end(), 0);
     for (std::size_t i = n_samples - 1; i > 0; --i) {
       const auto j = static_cast<std::size_t>(uniform_index(rng_, i + 1));
       std::swap(order[i], order[j]);
@@ -174,6 +232,7 @@ TrainReport Trainer::fit(const ConfigDataset& dataset) {
                          .with("grad_norm", static_cast<double>(grad_norm))
                          .with("samples", report.samples_seen));
     }
+    if (hook) hook(epoch, mean_loss);
   }
   return report;
 }

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "nn/vae.hpp"
@@ -38,6 +40,12 @@ class ConfigDataset {
 
   void clear();
 
+  /// Checkpoint the stored samples plus the reservoir's `seen` counter;
+  /// load_state into a dataset of matching geometry resumes the exact
+  /// reservoir distribution.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
  private:
   std::int32_t n_sites_;
   std::int32_t condition_dim_;
@@ -66,14 +74,20 @@ struct TrainReport {
   std::int64_t samples_seen = 0;
 };
 
+/// Observes (epoch index, mean epoch loss) after each completed fit()
+/// epoch -- the checkpoint layer saves mid-training state from here.
+using EpochHook = std::function<void(std::int32_t, float)>;
+
 class Trainer {
  public:
   Trainer(Vae& vae, TrainOptions options);
 
-  /// Run options.epochs over the dataset. A hook, when set, observes
-  /// (epoch, mean loss) -- used for logging and for the data-parallel
-  /// wrapper's gradient reduction.
-  TrainReport fit(const ConfigDataset& dataset);
+  /// Run epochs [first_epoch, options.epochs) over the dataset. The
+  /// hook, when set, observes (epoch, mean loss) after each epoch.
+  /// `first_epoch` > 0 is the checkpoint-resume path: combined with
+  /// load_state() it continues a partially trained model bit-exactly.
+  TrainReport fit(const ConfigDataset& dataset, const EpochHook& hook = {},
+                  std::int32_t first_epoch = 0);
 
   /// One gradient step on an explicit batch of occupancy vectors laid out
   /// back to back (`conditions` likewise, batch*condition_dim floats for
@@ -94,6 +108,13 @@ class Trainer {
 
   [[nodiscard]] tensor::Adam& optimizer() { return optimizer_; }
   [[nodiscard]] Vae& vae() { return *vae_; }
+
+  /// Checkpoint the trainer-owned mutable state: Adam moments + step
+  /// count and the shuffle/reparameterisation RNG. Model weights are
+  /// saved separately (Vae::save) -- together the two round-trip a
+  /// mid-training session bit-exactly.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   Vae* vae_;

@@ -87,7 +87,8 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto bytes = recv_bytes(source, tag);
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    // Zero-length messages are legal; memcpy(null, null, 0) is not.
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
   }
 

@@ -1,12 +1,16 @@
 #include "par/rewl.hpp"
 
+#include <array>
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <sstream>
 
+#include "ckpt/fault.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "lattice/configuration.hpp"
 #include "mc/proposal.hpp"
@@ -41,7 +45,13 @@ struct WireReport {
   std::int64_t exch_attempted;
   std::int64_t exch_accepted;
   std::int32_t converged;
+  double energy;
+  std::uint64_t rng_position;
 };
+
+std::string rank_component(int rank) {
+  return "rank" + std::to_string(rank);
+}
 
 /// DOS wire format: one double per bin, NaN for unvisited.
 std::vector<double> dos_to_wire(const mc::DensityOfStates& dos) {
@@ -68,10 +78,13 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                     const lattice::Lattice& lat, int n_species,
                     const mc::EnergyGrid& grid, const RewlOptions& options,
                     const ProposalFactory& make_proposal,
-                    const IntervalHook& hook) {
+                    const IntervalHook& hook,
+                    const RewlCheckpointConfig* checkpoint) {
   DT_CHECK(options.n_windows >= 1);
   DT_CHECK(options.walkers_per_window >= 1);
   DT_CHECK(options.exchange_interval >= 1);
+  const bool ckpt_active = checkpoint != nullptr && checkpoint->store != nullptr;
+  const bool resuming = checkpoint != nullptr && checkpoint->resume_from != nullptr;
 
   const std::vector<Window> windows =
       make_windows(grid.n_bins(), options.n_windows, options.overlap);
@@ -104,9 +117,35 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
     wl_opts.window_hi_bin = window.hi_bin;
     mc::WangLandauSampler walker(hamiltonian, cfg, grid, wl_opts, wl_rng);
 
-    // Seeking uses a plain local-swap kernel: robust regardless of what
-    // the sampling proposal is (an untrained VAE would wander).
-    {
+    ExchangeStats exch;
+    const auto n_sites = static_cast<std::size_t>(lat.num_sites());
+    std::int64_t round = 0;
+    std::int64_t last_saved_round = -1;
+    Stopwatch save_throttle;  // rank 0: time since the last periodic save
+
+    // Resume: restore the walker mid-run from its rank component instead
+    // of seeking into the window; the round counter (hence the exchange
+    // parity schedule) continues where the checkpoint left it.
+    std::optional<std::istringstream> resume_stream;
+    if (resuming) {
+      const ckpt::Checkpoint& ck = *checkpoint->resume_from;
+      auto meta = ck.stream("rewl.meta");
+      DT_CHECK_MSG(read_pod<std::int32_t>(meta) == options.n_windows &&
+                       read_pod<std::int32_t>(meta) == wpw &&
+                       read_pod<std::int32_t>(meta) == grid.n_bins(),
+                   "rewl resume: checkpoint topology does not match options");
+      round = read_pod<std::int64_t>(meta);
+      last_saved_round = round;
+
+      resume_stream.emplace(ck.stream(rank_component(rank)));
+      walker.load_state(*resume_stream);
+      exch.attempted = read_pod<std::int64_t>(*resume_stream);
+      exch.accepted = read_pod<std::int64_t>(*resume_stream);
+      exch_rng.set_key(read_pod<std::array<std::uint32_t, 2>>(*resume_stream));
+      exch_rng.seek(read_pod<std::uint64_t>(*resume_stream));
+    } else {
+      // Seeking uses a plain local-swap kernel: robust regardless of what
+      // the sampling proposal is (an untrained VAE would wander).
       mc::LocalSwapProposal seek_kernel(hamiltonian);
       const bool inside =
           walker.seek_window(seek_kernel, options.seek_sweeps);
@@ -119,9 +158,20 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
     std::shared_ptr<mc::Proposal> proposal = make_proposal(rank);
     DT_CHECK(proposal != nullptr);
 
-    ExchangeStats exch;
-    const auto n_sites = static_cast<std::size_t>(lat.num_sites());
-    std::int64_t round = 0;
+    // Caller extras (VAE replica, optimizer moments, replay dataset) are
+    // restored only after the factory has built the objects they land in.
+    if (resuming) {
+      const auto has_extra = read_pod<std::uint8_t>(*resume_stream);
+      if (has_extra != 0) {
+        DT_CHECK_MSG(static_cast<bool>(checkpoint->load_extra),
+                     "rewl resume: checkpoint carries per-rank extra state "
+                     "but no load_extra is wired");
+        std::istringstream extra(read_string(*resume_stream),
+                                 std::ios::binary);
+        checkpoint->load_extra(rank, extra);
+      }
+      resume_stream.reset();
+    }
 
     // Per-walker telemetry cadence: one time-series event per exchange
     // block, plus shared exchange counters in the global registry.
@@ -133,9 +183,90 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         metrics.counter("rewl.exchange.accepted");
     Stopwatch block_clock;
     std::int64_t sweeps_at_last_block = 0;
+    bool interrupted_run = false;
 
     for (;;) {
-      walker.advance(*proposal, options.exchange_interval);
+      // ---- checkpoint barrier (top of round: the globally consistent
+      // point -- every walker sits between exchange blocks) ----
+      if (ckpt_active) {
+        std::uint8_t cmd = 0;  // bit 0: save, bit 1: stop after saving
+        if (rank == 0) {
+          bool save = checkpoint->interval_rounds > 0 && round > 0 &&
+                      round % checkpoint->interval_rounds == 0 &&
+                      round != last_saved_round &&
+                      save_throttle.seconds() >=
+                          checkpoint->min_interval_seconds;
+          bool stop = false;
+          if (checkpoint->signals != nullptr) {
+            if (checkpoint->signals->consume_save_request()) save = true;
+            if (checkpoint->signals->stop_requested()) {
+              save = true;
+              stop = true;
+            }
+          }
+          cmd = static_cast<std::uint8_t>((save ? 1U : 0U) |
+                                          (stop ? 2U : 0U));
+        }
+        std::vector<std::uint8_t> wire_cmd(1, cmd);
+        comm.broadcast(wire_cmd, 0);
+        cmd = wire_cmd[0];
+
+        if ((cmd & 1U) != 0) {
+          DT_SPAN("rewl.checkpoint");
+          std::ostringstream os(std::ios::binary);
+          walker.save_state(os);
+          write_pod(os, exch.attempted);
+          write_pod(os, exch.accepted);
+          write_pod(os, exch_rng.key());
+          write_pod(os, exch_rng.position());
+          const std::uint8_t has_extra =
+              checkpoint->save_extra ? std::uint8_t{1} : std::uint8_t{0};
+          write_pod(os, has_extra);
+          if (has_extra != 0) {
+            std::ostringstream extra(std::ios::binary);
+            checkpoint->save_extra(rank, extra);
+            write_string(os, std::move(extra).str());
+          }
+          const std::string record = std::move(os).str();
+          const auto blobs = comm.gather<char>(
+              std::span<const char>(record.data(), record.size()), 0);
+          if (rank == 0) {
+            ckpt::CheckpointBuilder builder;
+            builder.component("rewl.meta", [&](std::ostream& ms) {
+              write_pod(ms, static_cast<std::int32_t>(options.n_windows));
+              write_pod(ms, static_cast<std::int32_t>(wpw));
+              write_pod(ms, grid.n_bins());
+              write_pod(ms, round);
+            });
+            for (int r = 0; r < options.total_ranks(); ++r) {
+              const auto& blob = blobs[static_cast<std::size_t>(r)];
+              builder.add(rank_component(r),
+                          std::string(blob.begin(), blob.end()));
+            }
+            if (checkpoint->add_components)
+              checkpoint->add_components(builder);
+            const ckpt::SaveReport saved = checkpoint->store->save(builder);
+            std::lock_guard<std::mutex> lock(result_mutex);
+            result.last_checkpoint_generation = saved.generation;
+          }
+          last_saved_round = round;
+          save_throttle.reset();
+        }
+        if (rank == 0) ckpt::fault_point("rewl.round");
+        if ((cmd & 2U) != 0) {
+          interrupted_run = true;
+          break;
+        }
+      }
+
+      walker.advance(*proposal, options.exchange_interval,
+                     [&](int /*stage*/, double /*log_f*/,
+                         std::int64_t /*sweeps*/) {
+                       // Mid-stage fault site: exercises recovery from a
+                       // crash between checkpoints (replay from the last
+                       // round boundary must be bit-exact).
+                       if (rank == 0) ckpt::fault_point("rewl.wl_stage");
+                     });
       if (hook) hook(comm, walker, exch_rng);
 
       // ---- replica exchange between adjacent windows ----
@@ -265,9 +396,14 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
     }
 
     // ---- assemble: average ln g within each window ----
+    // Interrupted runs skip the stitch: early-stage window fragments need
+    // not overlap yet, and the stitched DOS of a half-finished run is
+    // meaningless anyway -- resume from the checkpoint instead.
     const int leader = window_id * wpw;
     std::vector<double> wire = dos_to_wire(walker.dos());
-    if (rank == leader) {
+    if (interrupted_run) {
+      // fall through to the reports
+    } else if (rank == leader) {
       std::vector<std::vector<double>> fragments;
       fragments.push_back(std::move(wire));
       for (int k = 1; k < wpw; ++k)
@@ -313,7 +449,9 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                          walker.stats().round_trips,
                          exch.attempted,
                          exch.accepted,
-                         walker.converged() ? 1 : 0};
+                         walker.converged() ? 1 : 0,
+                         walker.energy(),
+                         walker.rng_position()};
     if (rank == 0) {
       std::vector<WireReport> reports(
           static_cast<std::size_t>(options.total_ranks()));
@@ -323,8 +461,19 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
             comm.recv_value<WireReport>(r, kTagReport);
 
       std::lock_guard<std::mutex> lock(result_mutex);
-      result.converged = true;
+      result.interrupted = interrupted_run;
+      result.converged = !interrupted_run;
       result.total_sweeps = 0;
+      result.walker_energies.resize(
+          static_cast<std::size_t>(options.total_ranks()));
+      result.walker_rng_positions.resize(
+          static_cast<std::size_t>(options.total_ranks()));
+      for (int r = 0; r < options.total_ranks(); ++r) {
+        result.walker_energies[static_cast<std::size_t>(r)] =
+            reports[static_cast<std::size_t>(r)].energy;
+        result.walker_rng_positions[static_cast<std::size_t>(r)] =
+            reports[static_cast<std::size_t>(r)].rng_position;
+      }
       result.windows.assign(static_cast<std::size_t>(options.n_windows), {});
       for (int w = 0; w < options.n_windows; ++w) {
         RewlWindowReport& wr = result.windows[static_cast<std::size_t>(w)];

@@ -20,6 +20,8 @@
 #include <functional>
 #include <memory>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/signal.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "lattice/lattice.hpp"
 #include "mc/dos.hpp"
@@ -67,6 +69,17 @@ struct RewlResult {
   bool converged = false;
   std::int64_t total_sweeps = 0; ///< summed over all walkers
   double wall_seconds = 0.0;
+  /// True when the run was stopped early by a SIGTERM-style stop request
+  /// after a final checkpoint; dos is then left empty (resume from the
+  /// checkpoint to continue).
+  bool interrupted = false;
+  /// Generation of the last checkpoint written during the run (0: none).
+  std::uint64_t last_checkpoint_generation = 0;
+  /// Per-rank final walker energy / Philox draw position, rank-indexed.
+  /// The fault-injection harness asserts these bit-match across an
+  /// interrupted+resumed run and an uninterrupted reference.
+  std::vector<double> walker_energies;
+  std::vector<std::uint64_t> walker_rng_positions;
 };
 
 /// Per-rank proposal factory; called once on each rank's thread. Shared
@@ -82,13 +95,48 @@ using IntervalHook =
     std::function<void(Communicator& comm, mc::WangLandauSampler& walker,
                        mc::Rng& rng)>;
 
+/// Run-level checkpoint/restart wiring for run_rewl. Saves happen at
+/// exchange-block boundaries -- the only globally consistent points --
+/// either every `interval_rounds` rounds or on a pending SignalFlags
+/// request; each save captures every walker (DOS, histogram, ln f stage,
+/// configuration, Philox position), the exchange-schedule round and
+/// per-rank exchange statistics plus RNG, and whatever the caller
+/// appends (VAE replicas, pipeline phase) via save_extra/add_components.
+struct RewlCheckpointConfig {
+  ckpt::CheckpointStore* store = nullptr;  ///< nullptr disables saving
+  /// Rounds between periodic saves (0: only signal-triggered saves).
+  std::int64_t interval_rounds = 0;
+  /// Wall-clock floor between periodic saves: a round-interval save is
+  /// skipped while the last save is younger than this, bounding
+  /// checkpoint overhead at save_cost / min_interval regardless of how
+  /// fast rounds turn over. Signal-triggered and stop saves bypass it.
+  /// Saves never perturb the sampling trajectory (they draw no RNG), so
+  /// this time dependence cannot change physics results.
+  double min_interval_seconds = 0.0;
+  /// Polled on rank 0 each round for SIGUSR1/SIGTERM-triggered saves.
+  ckpt::SignalFlags* signals = nullptr;
+  /// Decoded checkpoint to resume from (nullptr: fresh start). Walkers
+  /// skip window seeking and continue mid-run bit-exactly.
+  const ckpt::Checkpoint* resume_from = nullptr;
+  /// Serialize/restore caller state owned per rank (e.g. the VAE
+  /// replica, its optimizer moments and replay dataset). Appended to the
+  /// rank's record after the walker state; both or neither must be set.
+  std::function<void(int rank, std::ostream&)> save_extra;
+  std::function<void(int rank, std::istream&)> load_extra;
+  /// Caller components added to every checkpoint (pipeline phase, shared
+  /// pretrained weights, ...). Runs on rank 0's thread during a save.
+  std::function<void(ckpt::CheckpointBuilder&)> add_components;
+};
+
 /// Run REWL with options.total_ranks() minicomm ranks. Blocks until all
 /// walkers converge or hit max_sweeps; returns the stitched DOS and
-/// per-window reports (assembled on rank 0).
+/// per-window reports (assembled on rank 0). With `checkpoint` set, the
+/// run saves/restores itself as configured (see RewlCheckpointConfig).
 RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                     const lattice::Lattice& lat, int n_species,
                     const mc::EnergyGrid& grid, const RewlOptions& options,
                     const ProposalFactory& make_proposal,
-                    const IntervalHook& hook = {});
+                    const IntervalHook& hook = {},
+                    const RewlCheckpointConfig* checkpoint = nullptr);
 
 }  // namespace dt::par

@@ -1,8 +1,11 @@
 #include "tensor/optimizer.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 
 namespace dt::tensor {
 
@@ -68,6 +71,37 @@ void Adam::step() {
       value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+namespace {
+constexpr std::uint64_t kAdamMagic = 0x44'54'41'44'41'4D'30'31ULL;
+}  // namespace
+
+void Adam::save_state(std::ostream& os) const {
+  write_pod(os, kAdamMagic);
+  write_pod(os, t_);
+  write_pod<std::uint64_t>(os, m_.size());
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    write_vector(os, m_[k]);
+    write_vector(os, v_[k]);
+  }
+}
+
+void Adam::load_state(std::istream& is) {
+  DT_CHECK_MSG(read_pod<std::uint64_t>(is) == kAdamMagic,
+               "Adam checkpoint: bad magic");
+  const auto t = read_pod<std::int64_t>(is);
+  const auto n = read_pod<std::uint64_t>(is);
+  DT_CHECK_MSG(n == m_.size(), "Adam checkpoint: parameter count mismatch");
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    auto m = read_vector<float>(is);
+    auto v = read_vector<float>(is);
+    DT_CHECK_MSG(m.size() == m_[k].size() && v.size() == v_[k].size(),
+                 "Adam checkpoint: moment size mismatch at parameter " << k);
+    m_[k] = std::move(m);
+    v_[k] = std::move(v);
+  }
+  t_ = t;
 }
 
 }  // namespace dt::tensor

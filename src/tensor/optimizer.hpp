@@ -5,6 +5,7 @@
 // built in the next forward pass sees the new weights.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -44,6 +45,12 @@ class Adam final : public Optimizer {
   Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
   void step() override;
+
+  /// Checkpoint the full optimizer state (step count + first/second
+  /// moments); load_state into an Adam over the same parameter shapes
+  /// resumes bit-exactly. Hyperparameters are caller-managed.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   float lr_, beta1_, beta2_, eps_;

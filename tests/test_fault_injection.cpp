@@ -1,0 +1,306 @@
+// Crash-consistency proof for the checkpoint/restart subsystem: kill the
+// pipeline at armed fault points (exchange-block boundaries, mid-WL-stage,
+// mid-VAE-epoch), resume from the surviving checkpoint, and assert the
+// final state -- ln g(E), walker energies, walker RNG draw positions, the
+// VAE loss trace and the VAE weights -- is bit-identical to an
+// uninterrupted reference run. Also proves a corrupted newest generation
+// is rejected (CRC) in favour of the previous one.
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/fault.hpp"
+#include "ckpt/signal.hpp"
+
+namespace dt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name) {
+    path = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+/// Tiny but full-featured pipeline: VAE pretraining with mid-train
+/// checkpoints, conditional retraining mid-REWL (exercising the
+/// per-rank trainer/dataset/reservoir state), two windows.
+DeepThermoOptions tiny_options(const std::string& ckpt_dir, bool resume) {
+  DeepThermoOptions opts;
+  opts.lattice.nx = opts.lattice.ny = opts.lattice.nz = 2;  // 16 atoms
+  opts.lattice.n_shells = 2;
+  opts.n_bins = 50;
+  opts.pretrain.n_temperatures = 2;
+  opts.pretrain.equilibration_sweeps = 8;
+  opts.pretrain.samples_per_temperature = 12;
+  opts.vae.hidden = 16;
+  opts.vae.latent = 3;
+  opts.vae.epochs = 6;
+  opts.rewl.n_windows = 2;
+  opts.rewl.walkers_per_window = 1;
+  opts.rewl.wl.log_f_final = 3e-2;
+  opts.rewl.exchange_interval = 10;
+  opts.rewl.max_sweeps = 250000;
+  opts.rewl.progress_interval_seconds = 1e9;
+  opts.retrain_every_rounds = 4;
+  opts.production_sweeps = 200;
+  opts.global_fraction = 0.05;
+  opts.seed = 17;
+  opts.checkpoint_dir = ckpt_dir;
+  opts.checkpoint_interval_rounds = 2;
+  // No wall-clock throttle: kill points must fall at reproducible rounds.
+  opts.checkpoint_min_interval_seconds = 0.0;
+  opts.checkpoint_pretrain_epochs = 2;
+  opts.checkpoint_keep = 3;
+  opts.resume = resume;
+  return opts;
+}
+
+/// Everything the ISSUE requires to be bit-identical after a resume.
+struct RunSignature {
+  std::vector<std::pair<std::int32_t, double>> log_g;
+  std::vector<double> walker_energies;
+  std::vector<std::uint64_t> walker_rng_positions;
+  std::vector<float> vae_loss_trace;
+  std::string vae_weights;
+
+  bool operator==(const RunSignature&) const = default;
+};
+
+/// Field-wise bit-exact comparison (readable failure output).
+void expect_signature_eq(const RunSignature& got, const RunSignature& want) {
+  EXPECT_EQ(got.log_g, want.log_g);
+  EXPECT_EQ(got.walker_energies, want.walker_energies);
+  EXPECT_EQ(got.walker_rng_positions, want.walker_rng_positions);
+  EXPECT_EQ(got.vae_loss_trace, want.vae_loss_trace);
+  EXPECT_EQ(got.vae_weights == want.vae_weights, true)
+      << "VAE weight blobs differ (" << got.vae_weights.size() << " vs "
+      << want.vae_weights.size() << " bytes)";
+}
+
+RunSignature signature(const DeepThermoResult& result) {
+  RunSignature sig;
+  for (std::int32_t b = 0; b < result.grid.n_bins(); ++b)
+    if (result.dos.visited(b)) sig.log_g.emplace_back(b, result.dos.log_g(b));
+  sig.walker_energies = result.rewl.walker_energies;
+  sig.walker_rng_positions = result.rewl.walker_rng_positions;
+  sig.vae_loss_trace = result.vae_loss_trace;
+  sig.vae_weights = result.final_vae_weights;
+  return sig;
+}
+
+/// Uninterrupted run WITHOUT checkpointing: the ground truth every
+/// crashed-and-resumed variant must reproduce bit-for-bit.
+const RunSignature& reference() {
+  static const RunSignature sig = [] {
+    auto fw = Framework::nbmotaw(tiny_options("", false));
+    const auto result = fw.run();
+    EXPECT_TRUE(result.rewl.converged);
+    return signature(result);
+  }();
+  return sig;
+}
+
+void clean_fault_state() {
+  ckpt::FaultInjector::instance().disarm();
+  ckpt::FaultInjector::instance().count_visits(false);
+  ckpt::SignalFlags::instance().reset();
+}
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override { clean_fault_state(); }
+  void TearDown() override { clean_fault_state(); }
+};
+
+TEST_F(FaultInjection, CheckpointingDoesNotPerturbPhysics) {
+  // Saves serialize state without consuming RNG draws, so a checkpointed
+  // run must equal the checkpoint-free reference exactly.
+  TempDir dir("fi_noperturb");
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_GT(result.rewl.last_checkpoint_generation, 0u);
+  expect_signature_eq(signature(result), reference());
+
+  const ckpt::CheckpointStore store(dir.str());
+  EXPECT_FALSE(store.generations().empty());
+}
+
+TEST_F(FaultInjection, KillAtExchangeBlocksResumesBitExact) {
+  // First measure how many exchange-block fault sites a full run visits,
+  // then kill at two points spread across that range -- early (around
+  // the first periodic save) and mid-run.
+  ckpt::FaultInjector::instance().count_visits(true);
+  ckpt::FaultInjector::instance().reset_counts();
+  {
+    TempDir dir("fi_probe");
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    (void)fw.run();
+  }
+  const std::int64_t rounds = ckpt::FaultInjector::instance().hits("rewl.round");
+  ckpt::FaultInjector::instance().count_visits(false);
+  ASSERT_GT(rounds, 4) << "pipeline too short to place interesting faults";
+
+  for (const std::int64_t kill_at : {std::int64_t{3}, rounds / 2}) {
+    TempDir dir("fi_kill_round_" + std::to_string(kill_at));
+    {
+      auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+      ckpt::FaultInjector::instance().arm("rewl.round", kill_at);
+      EXPECT_THROW((void)fw.run(), ckpt::FaultInjected) << "kill " << kill_at;
+    }
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+    const auto result = fw.run();
+    EXPECT_TRUE(result.rewl.converged);
+    EXPECT_TRUE(result.resumed);
+    expect_signature_eq(signature(result), reference());
+  }
+}
+
+TEST_F(FaultInjection, KillMidWangLandauStageResumesBitExact) {
+  // The mid-stage site fires between checkpoints; recovery replays from
+  // the last exchange-block boundary and must land on the same stream.
+  TempDir dir("fi_kill_stage");
+  {
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    ckpt::FaultInjector::instance().arm("rewl.wl_stage", 2);
+    EXPECT_THROW((void)fw.run(), ckpt::FaultInjected);
+  }
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  expect_signature_eq(signature(result), reference());
+}
+
+TEST_F(FaultInjection, KillMidVaePretrainResumesBitExact) {
+  // skip_hits = 1: die at the SECOND mid-pretrain save point, so the
+  // first one exists on disk and the resume restores a half-trained
+  // model (dataset + Adam moments + trainer RNG) bit-exactly.
+  TempDir dir("fi_kill_pretrain");
+  {
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    ckpt::FaultInjector::instance().arm("pretrain.epoch", 1);
+    EXPECT_THROW((void)fw.run(), ckpt::FaultInjected);
+  }
+  {
+    const ckpt::CheckpointStore store(dir.str());
+    const auto ck = store.load_latest();
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_TRUE(ck->has("pretrain.trainer"));  // died mid-pretrain
+  }
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  EXPECT_TRUE(result.resumed);
+  expect_signature_eq(signature(result), reference());
+}
+
+TEST_F(FaultInjection, StopRequestInterruptsThenResumesBitExact) {
+  // SIGTERM path (driven through the flags, no real signal): checkpoint,
+  // stop with interrupted set and no stitched DOS, then resume to the
+  // exact reference result.
+  TempDir dir("fi_sigterm");
+  {
+    ckpt::SignalFlags::instance().request_stop();
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    const auto result = fw.run();
+    EXPECT_TRUE(result.rewl.interrupted);
+    EXPECT_FALSE(result.rewl.converged);
+    EXPECT_GT(result.rewl.last_checkpoint_generation, 0u);
+    EXPECT_EQ(result.dos.num_visited(), 0);
+    ckpt::SignalFlags::instance().reset();
+  }
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  EXPECT_FALSE(result.rewl.interrupted);
+  expect_signature_eq(signature(result), reference());
+}
+
+TEST_F(FaultInjection, SaveRequestCheckpointsWithoutStopping) {
+  // SIGUSR1 path: one extra checkpoint, no behaviour change.
+  TempDir dir("fi_sigusr1");
+  ckpt::SignalFlags::instance().request_save();
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  EXPECT_FALSE(result.rewl.interrupted);
+  expect_signature_eq(signature(result), reference());
+}
+
+TEST_F(FaultInjection, CorruptedNewestGenerationIsRejectedInFavourOfOlder) {
+  // Crash mid-REWL so several generations exist, corrupt the newest,
+  // and resume: the CRC check must reject it and the run must continue
+  // from the previous generation -- still bit-exact.
+  TempDir dir("fi_corrupt");
+  {
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    ckpt::FaultInjector::instance().arm("rewl.round", 7);
+    EXPECT_THROW((void)fw.run(), ckpt::FaultInjected);
+  }
+  const ckpt::CheckpointStore store(dir.str());
+  const auto gens = store.generations();
+  ASSERT_GE(gens.size(), 2u) << "need two generations to test fallback";
+  const std::uint64_t newest = gens.back();
+  const std::uint64_t previous = gens[gens.size() - 2];
+
+  // Flip a byte in the middle of the newest generation's file.
+  const fs::path victim = fs::path(dir.str()) / ckpt::CheckpointStore::filename(newest);
+  std::string bytes;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const auto ck = store.load_latest();
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->generation(), previous);
+
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.rewl.converged);
+  EXPECT_TRUE(result.resumed);
+  expect_signature_eq(signature(result), reference());
+}
+
+TEST_F(FaultInjection, ResumeAfterCompletionRerunsOnlyPostProcessing) {
+  // The final generation carries the production-phase record: resuming
+  // from a finished run skips REWL entirely and reproduces the result.
+  TempDir dir("fi_postrun");
+  RunSignature first;
+  {
+    auto fw = Framework::nbmotaw(tiny_options(dir.str(), false));
+    const auto result = fw.run();
+    EXPECT_TRUE(result.rewl.converged);
+    first = signature(result);
+  }
+  auto fw = Framework::nbmotaw(tiny_options(dir.str(), true));
+  const auto result = fw.run();
+  EXPECT_TRUE(result.resumed);
+  EXPECT_TRUE(result.rewl.converged);
+  expect_signature_eq(signature(result), first);
+  expect_signature_eq(signature(result), reference());
+}
+
+}  // namespace
+}  // namespace dt::core

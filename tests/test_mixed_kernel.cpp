@@ -71,7 +71,9 @@ TEST(DeepThermoKernel, PureLocalAndPureGlobalLimits) {
 
 TEST(DeepThermoKernel, RevertAlwaysRestores) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
-  const auto ham = lattice::epi_ising(1.0);
+  // 4-species Hamiltonian to match the 4-species configuration (a
+  // 2-species table would be indexed out of bounds).
+  const auto ham = lattice::random_epi(4, 1, 0.1, 15);
   DeepThermoProposal kernel(ham, make_vae(lat.num_sites(), 4, 4), 0.5);
   mc::Rng rng(5, 0);
   auto cfg = lattice::random_configuration(lat, 4, rng);

@@ -39,7 +39,9 @@ TEST(LocalSwap, PreservesComposition) {
 
 TEST(LocalSwap, RevertRestoresExactState) {
   const auto lat = bcc3();
-  const auto ham = lattice::epi_ising(1.0);
+  // 4-species Hamiltonian to match the 4-species configuration (a
+  // 2-species table would be indexed out of bounds).
+  const auto ham = lattice::random_epi(4, 1, 0.1, 11);
   Rng rng(2, 0);
   auto cfg = lattice::random_configuration(lat, 4, rng);
   const std::vector<std::uint8_t> snapshot(cfg.occupancy().begin(),
@@ -105,7 +107,7 @@ TEST(LocalSwap, ProposedSitesAlwaysDiffer) {
 
 TEST(BlockSwap, PreservesCompositionAndReverts) {
   const auto lat = Lattice::create(LatticeType::kBCC, 4, 4, 4, 1);
-  const auto ham = lattice::epi_ising(1.0);
+  const auto ham = lattice::random_epi(4, 1, 0.1, 13);
   Rng rng(6, 0);
   auto cfg = lattice::random_configuration(lat, 4, rng);
   const auto before = composition_of(cfg);

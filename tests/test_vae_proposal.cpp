@@ -78,7 +78,9 @@ TEST(SequentialDensity, UniformProbsGiveUniformArrangements) {
 
 TEST(VaeProposal, PreservesCompositionAndReverts) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
-  const auto ham = lattice::epi_ising(1.0);
+  // 4-species Hamiltonian to match the 4-species configuration (a
+  // 2-species table would be indexed out of bounds).
+  const auto ham = lattice::random_epi(4, 1, 0.1, 9);
   auto vae = make_vae(lat.num_sites(), 4, 3);
   VaeProposal prop(ham, vae);
 
