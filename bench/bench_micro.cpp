@@ -8,6 +8,7 @@
 #include "core/deepthermo.hpp"
 #include "nn/trainer.hpp"
 #include "par/minicomm.hpp"
+#include "tensor/gemm.hpp"
 
 namespace {
 
@@ -46,6 +47,30 @@ void BM_TotalEnergy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sys.lat.num_sites());
 }
 BENCHMARK(BM_TotalEnergy)->Arg(4)->Arg(8);
+
+// Sparse changed-site energy walk vs the full recompute it replaces.
+// range(1) = number of random swaps in the candidate (2 changed sites
+// each); compare against BM_TotalEnergy at the same cells.
+void BM_AssignDelta(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  mc::Rng rng(12, 0);
+  auto cfg = lattice::random_configuration(sys.lat, 4, rng);
+  const auto n = static_cast<std::uint64_t>(sys.lat.num_sites());
+  std::vector<lattice::Species> candidate(cfg.occupancy().begin(),
+                                          cfg.occupancy().end());
+  for (std::int64_t sw = 0; sw < state.range(1); ++sw) {
+    const auto a = static_cast<std::size_t>(uniform_index(rng, n));
+    const auto b = static_cast<std::size_t>(uniform_index(rng, n));
+    std::swap(candidate[a], candidate[b]);
+  }
+  lattice::DeltaWorkspace ws;
+  for (auto _ : state) {
+    const auto d = sys.ham.assign_delta(cfg, candidate, ws);
+    benchmark::DoNotOptimize(d.delta_energy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssignDelta)->Args({8, 8})->Args({8, 64})->Args({8, 512});
 
 void BM_WangLandauSweep(benchmark::State& state) {
   System sys(static_cast<int>(state.range(0)));
@@ -92,10 +117,34 @@ void BM_VaeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_VaeDecode)->Arg(64)->Arg(256);
 
+// Amortised per-latent decode cost at batch K (range(1)); K = 1 is the
+// pre-fast-path baseline of one GEMM per proposal.
+void BM_VaeDecodeBatch(benchmark::State& state) {
+  System sys(static_cast<int>(state.range(0)));
+  auto vae = bench_vae(sys, 64, 16);
+  const auto k = static_cast<std::int64_t>(state.range(1));
+  std::vector<float> z(static_cast<std::size_t>(16 * k), 0.3f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vae->decode_probs_batch(z, k));
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_VaeDecodeBatch)
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({10, 1})
+    ->Args({10, 8})
+    ->Args({10, 16})
+    ->Args({10, 32});
+
+// Full mixed-kernel global move: decode (amortised over the decode-ahead
+// batch, range(1)) + constrained sequential sampling + reverse density +
+// sparse delta energy. {4, *} is the unit-test scale, {10, *} is N = 2000
+// (ISSUE 4's headline proposal-throughput target).
 void BM_VaeGlobalProposal(benchmark::State& state) {
-  System sys(4);
+  System sys(static_cast<int>(state.range(0)));
   auto vae = bench_vae(sys, 64, 16);
   core::VaeProposal kernel(sys.ham, vae);
+  kernel.set_decode_batch(static_cast<std::int32_t>(state.range(1)));
   mc::Rng rng(6, 0);
   auto cfg = lattice::random_configuration(sys.lat, 4, rng);
   double e = sys.ham.total_energy(cfg);
@@ -106,7 +155,43 @@ void BM_VaeGlobalProposal(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_VaeGlobalProposal);
+BENCHMARK(BM_VaeGlobalProposal)
+    ->Args({4, 1})
+    ->Args({10, 1})
+    ->Args({10, 8})
+    ->Args({10, 16})
+    ->Args({10, 32});
+
+// The tensor-layer GEMM behind every VAE forward/backward, vs the
+// pre-blocking naive loop it replaced (see BENCH_baseline.json).
+void BM_GemmNN(benchmark::State& state) {
+  const auto d = static_cast<std::int64_t>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(d * d), 0.5f);
+  std::vector<float> b(static_cast<std::size_t>(d * d), 0.25f);
+  std::vector<float> c(static_cast<std::size_t>(d * d));
+  for (auto _ : state) {
+    tensor::gemm_nn(d, d, d, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * d * d * d);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256);
+
+void BM_GemmBackward(benchmark::State& state) {
+  const auto d = static_cast<std::int64_t>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(d * d), 0.5f);
+  std::vector<float> dy(static_cast<std::size_t>(d * d), 0.25f);
+  std::vector<float> da(static_cast<std::size_t>(d * d), 0.0f);
+  std::vector<float> db(static_cast<std::size_t>(d * d), 0.0f);
+  for (auto _ : state) {
+    tensor::gemm_nt_acc(d, d, d, dy.data(), a.data(), da.data());
+    tensor::gemm_tn_acc(d, d, d, a.data(), dy.data(), db.data());
+    benchmark::DoNotOptimize(da.data());
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * d * d * d);
+}
+BENCHMARK(BM_GemmBackward)->Arg(256);
 
 void BM_VaeTrainStep(benchmark::State& state) {
   System sys(4);

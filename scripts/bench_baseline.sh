@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Record the performance baseline used by scripts/check.sh's perf smoke.
+#
+#   scripts/bench_baseline.sh [--cells N] [--quick]
+#
+# Builds the Release tree (build/), runs the micro benchmarks plus the
+# F4 proposal-throughput table, and combines the headline numbers into
+# BENCH_baseline.json at the repo root. Re-run on a quiet machine after
+# intentional performance changes; check.sh compares fresh runs against
+# this file and fails on >20% regressions.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cells=10           # 2*10^3 = 2000 sites, the ISSUE 4 throughput scale
+budget_sweeps=200  # kernel-quality table budget (not part of the gate)
+min_time=0.5
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --cells) cells="$2"; shift 2 ;;
+    --quick) budget_sweeps=50; min_time=0.2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "${jobs}" --target bench_micro bench_f4_proposals
+
+micro_json="${build_dir}/bench_micro_baseline.json"
+f4_json="${build_dir}/bench_f4_baseline.json"
+rm -f "${f4_json}"
+
+# Micro kernels: the GEMM + decode + proposal + energy hot paths.
+"${build_dir}/bench/bench_micro" \
+  --benchmark_filter='BM_(GemmNN|GemmBackward|TotalEnergy|AssignDelta|VaeDecodeBatch|VaeGlobalProposal)' \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_out="${micro_json}" --benchmark_out_format=json
+
+# F4 proposal throughput at N = 2*cells^3 sites (appends JSON lines).
+"${build_dir}/bench/bench_f4_proposals" \
+  --cells="${cells}" --budget_sweeps="${budget_sweeps}" \
+  --json="${f4_json}"
+
+python3 - "$repo_root" "$micro_json" "$f4_json" "$cells" <<'PY'
+import json
+import subprocess
+import sys
+
+repo_root, micro_path, f4_path, cells = sys.argv[1:5]
+
+with open(micro_path) as f:
+    micro_raw = json.load(f)
+micro = {}
+for b in micro_raw.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    micro[b["name"]] = {
+        "cpu_time_ns": round(b["cpu_time"], 1),
+        "real_time_ns": round(b["real_time"], 1),
+        "items_per_second": round(b.get("items_per_second", 0.0), 1),
+    }
+
+f4 = {}
+with open(f4_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        table = json.loads(line)
+        tag = table.get("tag") or table.get("bench", "")
+        cols = table["columns"]
+        rows = {}
+        for row in table["rows"]:
+            rows[row[0]] = dict(zip(cols[1:], row[1:]))
+        f4[tag] = rows
+
+commit = subprocess.run(
+    ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+    capture_output=True, text=True).stdout.strip() or "unknown"
+
+out = {
+    "schema": 1,
+    "commit": commit,
+    "cells": int(cells),
+    "micro": dict(sorted(micro.items())),
+    "f4": f4,
+}
+path = f"{repo_root}/BENCH_baseline.json"
+with open(path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {path}")
+PY

@@ -25,3 +25,66 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
 cd "${build_dir}"
 ctest --output-on-failure -j "${jobs}" -L tier1 "$@"
 echo "check.sh: tier-1 suite clean under ASan/UBSan"
+
+# ---- Release perf smoke -------------------------------------------------
+# Guards the proposal fast path (ISSUE 4): re-times the headline micro
+# benchmarks in the Release tree and fails on a >20% CPU-time regression
+# against BENCH_baseline.json. Re-record the baseline on an intentional
+# perf change with scripts/bench_baseline.sh. Skip with
+# DT_SKIP_PERF_SMOKE=1 (e.g. on loaded CI machines).
+if [[ "${DT_SKIP_PERF_SMOKE:-0}" == "1" ]]; then
+  echo "check.sh: perf smoke skipped (DT_SKIP_PERF_SMOKE=1)"
+  exit 0
+fi
+baseline="${repo_root}/BENCH_baseline.json"
+if [[ ! -f "${baseline}" ]]; then
+  echo "check.sh: WARNING perf smoke skipped -- ${baseline} missing" \
+       "(record it with scripts/bench_baseline.sh)"
+  exit 0
+fi
+
+release_dir="${repo_root}/build"
+cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+  >/dev/null
+cmake --build "${release_dir}" -j "${jobs}" --target bench_micro
+smoke_json="${release_dir}/bench_micro_smoke.json"
+"${release_dir}/bench/bench_micro" \
+  --benchmark_filter='BM_(GemmNN/256|VaeGlobalProposal/10/16|TotalEnergy/8)' \
+  --benchmark_min_time=0.5 --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${smoke_json}" --benchmark_out_format=json >/dev/null
+
+python3 - "${baseline}" "${smoke_json}" <<'PY'
+import json
+import sys
+
+baseline_path, smoke_path = sys.argv[1:3]
+with open(baseline_path) as f:
+    base = json.load(f).get("micro", {})
+with open(smoke_path) as f:
+    smoke = json.load(f)
+
+# Median of 3 repetitions vs the recorded single-run baseline.
+fresh = {}
+for b in smoke.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        fresh[b["run_name"]] = b["cpu_time"]
+
+tol = 1.20
+failures = []
+for name, cpu_ns in sorted(fresh.items()):
+    ref = base.get(name, {}).get("cpu_time_ns")
+    if ref is None:
+        print(f"perf smoke: {name}: no baseline entry, skipping")
+        continue
+    ratio = cpu_ns / ref
+    status = "OK" if ratio <= tol else "REGRESSED"
+    print(f"perf smoke: {name}: {cpu_ns:.0f} ns vs baseline "
+          f"{ref:.0f} ns ({ratio:.2f}x) {status}")
+    if ratio > tol:
+        failures.append(name)
+if failures:
+    sys.exit("check.sh: perf smoke FAILED (>20% regression): "
+             + ", ".join(failures))
+print("check.sh: perf smoke clean")
+PY

@@ -380,6 +380,11 @@ DeepThermoResult Framework::run() {
 
     st.kernel = std::make_shared<DeepThermoProposal>(
         hamiltonian_, st.vae, options_.global_fraction);
+    if (options_.vae_decode_batch > 0)
+      st.kernel->vae_kernel().set_decode_batch(options_.vae_decode_batch);
+    if (options_.vae_audit_interval >= 0)
+      st.kernel->vae_kernel().set_audit_interval(
+          static_cast<std::uint64_t>(options_.vae_audit_interval));
     if (options_.condition_on_energy) {
       // Fix this walker's decoder condition to its window centre --
       // state-independent, so the kernel stays exactly balanced.
@@ -412,6 +417,10 @@ DeepThermoResult Framework::run() {
           st.dataset->size() >= 2) {
         par::ddp_fit(comm, *st.trainer, *st.dataset, options_.retrain_epochs,
                      options_.vae.batch_size);
+        // The kernel may hold probabilities decoded from the old weights;
+        // stale entries would make sampling depend on the decode batch
+        // size and break bit-exact resume.
+        st.kernel->vae_kernel().invalidate_decode_cache();
       }
     };
   }
@@ -454,6 +463,9 @@ DeepThermoResult Framework::run() {
             write_pod(os, st.reservoir_rng.state());
             write_pod(os, st.rounds);
           }
+          // Kernel behavioural state (VAE decode-ahead ordinal + stats)
+          // last, so older records without it fail loudly on the magic.
+          st.kernel->save_state(os);
         };
         rewl_ckpt.load_extra = [&](int rank, std::istream& is) {
           RankState& st = states[static_cast<std::size_t>(rank)];
@@ -468,6 +480,7 @@ DeepThermoResult Framework::run() {
                 read_pod<std::array<std::uint64_t, 4>>(is));
             st.rounds = read_pod<std::int64_t>(is);
           }
+          st.kernel->load_state(is);
         };
       }
       rewl_ckpt_ptr = &rewl_ckpt;

@@ -86,6 +86,15 @@ struct DeepThermoOptions {
   par::RewlOptions rewl;
   bool use_vae = true;              ///< false: plain-REWL baseline
   double global_fraction = 0.05;    ///< VAE share of the mixed kernel
+  /// Decode-ahead depth of the VAE kernel: latents batch-decoded per VAE
+  /// forward pass (<= 0: keep VaeProposal::kDefaultDecodeBatch). Pure
+  /// performance knob -- the proposal sequence is identical for any
+  /// value (see core/vae_proposal.hpp, stream discipline).
+  std::int32_t vae_decode_batch = 0;
+  /// Sparse-delta audit cadence for the VAE kernel: cross-check the
+  /// changed-site energy walk against total_energy every this many
+  /// proposals (0 disables; < 0: keep the library default).
+  std::int64_t vae_audit_interval = -1;
   /// Conditional-VAE extension: train the decoder conditioned on the
   /// (normalised) sample energy and fix each walker's condition to its
   /// window's centre, steering global proposals towards the window. The

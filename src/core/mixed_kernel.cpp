@@ -1,6 +1,7 @@
 #include "core/mixed_kernel.hpp"
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::core {
@@ -45,6 +46,16 @@ void DeepThermoProposal::revert(lattice::Configuration& cfg) {
     if (telem) local_reverted_total_->add();
     local_.revert(cfg);
   }
+}
+
+void DeepThermoProposal::save_state(std::ostream& os) const {
+  write_pod(os, local_stats_);
+  vae_.save_state(os);
+}
+
+void DeepThermoProposal::load_state(std::istream& is) {
+  local_stats_ = read_pod<KernelStats>(is);
+  vae_.load_state(is);
 }
 
 std::vector<std::pair<std::string, double>> DeepThermoProposal::telemetry()

@@ -47,6 +47,12 @@ class DeepThermoProposal final : public mc::Proposal {
   [[nodiscard]] VaeProposal& vae_kernel() { return vae_; }
   [[nodiscard]] double global_fraction() const { return global_fraction_; }
 
+  /// Checkpoint the kernel's behavioural state: the VAE component's
+  /// decode-ahead ordinal (required for bit-exact resume) plus the
+  /// per-component stats.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
  private:
   mc::LocalSwapProposal local_;
   VaeProposal vae_;

@@ -1,32 +1,89 @@
 #include "core/vae_proposal.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dt::core {
 
 using lattice::Configuration;
 
+namespace {
+
+/// XOR tags deriving the latent-stream key from the physics-stream key.
+/// Any fixed non-zero constants work; these keep the derived key distinct
+/// from every physics/exchange stream of the same run.
+constexpr std::uint32_t kLatentKeyTag0 = 0x9E3779B9u;
+constexpr std::uint32_t kLatentKeyTag1 = 0x7F4A7C15u;
+
+/// normal01 on a 32-bit Philox consumes exactly 2 uniforms = 4 draws.
+constexpr std::uint64_t kDrawsPerNormal = 4;
+
+constexpr std::uint32_t kStateMagic = 0x31465056u;  // "VPF1"
+
+}  // namespace
+
 VaeProposal::VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
                          std::shared_ptr<nn::Vae> vae)
     : hamiltonian_(&hamiltonian), vae_(std::move(vae)) {
   DT_CHECK(vae_ != nullptr);
-  z_.resize(static_cast<std::size_t>(vae_->latent_dim()));
+  remaining_.resize(static_cast<std::size_t>(vae_->options().n_species));
+  candidate_.resize(static_cast<std::size_t>(vae_->options().n_sites));
+  auto& metrics = obs::MetricsRegistry::global();
+  decode_batches_ = &metrics.counter("kernel.vae.decode.batches");
+  decode_decoded_ = &metrics.counter("kernel.vae.decode.decoded");
+  decode_served_ = &metrics.counter("kernel.vae.decode.served");
+  delta_changed_sites_ = &metrics.counter("kernel.vae.delta.changed_sites");
+  delta_sparse_ = &metrics.counter("kernel.vae.delta.sparse");
+  delta_full_ = &metrics.counter("kernel.vae.delta.full");
+  audit_checks_ = &metrics.counter("kernel.vae.audit.checks");
+  audit_failures_ = &metrics.counter("kernel.vae.audit.failures");
 }
 
-double VaeProposal::sequential_log_density(
+double VaeProposal::sequential_log_density_scratch(
     std::span<const float> probs, std::span<const std::uint8_t> occupancy,
-    int n_species) {
+    int n_species, std::vector<double>& remaining) {
   const auto s = static_cast<std::size_t>(n_species);
   const std::size_t n = occupancy.size();
   DT_CHECK(probs.size() == n * s);
 
   // Remaining species budget follows the evaluated configuration.
-  std::vector<double> remaining(s, 0.0);
+  remaining.assign(s, 0.0);
   for (std::uint8_t sp : occupancy) remaining[sp] += 1.0;
 
+  // One log() per ~900 sites instead of per site: accumulate the
+  // product of per-site ratios (each in (0, 1]) and flush to log space
+  // before it can underflow. Exact same quantity, far fewer libm calls.
   double log_q = 0.0;
+  double run = 1.0;
+  if (s == 4) {
+    // Quaternary fast path: the norm reduction unrolled so it compiles
+    // to straight-line FMA code (s is a runtime value in the generic
+    // loop, which blocks unrolling).
+    double* rem = remaining.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* block = &probs[i * 4];
+      const double norm = static_cast<double>(block[0]) * rem[0] +
+                          static_cast<double>(block[1]) * rem[1] +
+                          static_cast<double>(block[2]) * rem[2] +
+                          static_cast<double>(block[3]) * rem[3];
+      const auto chosen = static_cast<std::size_t>(occupancy[i]);
+      const double w = static_cast<double>(block[chosen]) * rem[chosen];
+      DT_CHECK_MSG(w > 0.0 && norm > 0.0,
+                   "sequential density: zero weight at site " << i);
+      run *= w / norm;
+      if (run < 1e-270) {
+        log_q += std::log(run);
+        run = 1.0;
+      }
+      rem[chosen] -= 1.0;
+    }
+    return log_q + std::log(run);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const float* block = &probs[i * s];
     double norm = 0.0;
@@ -37,10 +94,47 @@ double VaeProposal::sequential_log_density(
         static_cast<double>(block[chosen]) * remaining[chosen];
     DT_CHECK_MSG(w > 0.0 && norm > 0.0,
                  "sequential density: zero weight at site " << i);
-    log_q += std::log(w / norm);
+    run *= w / norm;
+    if (run < 1e-270) {
+      log_q += std::log(run);
+      run = 1.0;
+    }
     remaining[chosen] -= 1.0;
   }
-  return log_q;
+  return log_q + std::log(run);
+}
+
+double VaeProposal::sequential_log_density(
+    std::span<const float> probs, std::span<const std::uint8_t> occupancy,
+    int n_species) {
+  std::vector<double> remaining(static_cast<std::size_t>(n_species), 0.0);
+  return sequential_log_density_scratch(probs, occupancy, n_species,
+                                        remaining);
+}
+
+void VaeProposal::refill(const std::array<std::uint32_t, 2>& physics_key) {
+  const auto latent = static_cast<std::size_t>(vae_->latent_dim());
+  const auto k = static_cast<std::size_t>(decode_batch_);
+
+  // Latent ordinal t occupies the absolute draw window
+  // [t * 4*latent, (t+1) * 4*latent) of the derived stream, so the z
+  // sequence is a pure function of t -- independent of the batch size
+  // and of where checkpoints fell (see the header's stream discipline).
+  mc::Rng latent_rng;
+  latent_rng.set_key(
+      {physics_key[0] ^ kLatentKeyTag0, physics_key[1] ^ kLatentKeyTag1});
+  latent_rng.seek(served_ * kDrawsPerNormal * latent);
+
+  z_batch_.resize(k * latent);
+  for (auto& v : z_batch_) v = static_cast<float>(normal01(latent_rng));
+  probs_buffer_ = vae_->decode_probs_batch(
+      z_batch_, static_cast<std::int64_t>(decode_batch_), condition_);
+  buffer_fill_ = decode_batch_;
+  buffer_pos_ = 0;
+  if (obs::Telemetry::instance().enabled()) {
+    decode_batches_->add();
+    decode_decoded_->add(static_cast<std::uint64_t>(decode_batch_));
+  }
 }
 
 mc::ProposalResult VaeProposal::propose(Configuration& cfg,
@@ -50,60 +144,169 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
   DT_CHECK(static_cast<std::int64_t>(n) == vae_->options().n_sites);
   DT_CHECK(static_cast<int>(s) == vae_->options().n_species);
 
-  // 1. Fresh latent draw (state-independent).
-  for (auto& v : z_) v = static_cast<float>(normal01(rng));
-
-  // 2. Decode the per-site categoricals (conditioned if configured).
-  const std::vector<float> probs = vae_->decode_probs(z_, condition_);
+  // 1.+2. Per-site categoricals for this proposal's latent, from the
+  // decode-ahead buffer (state-independent; latents ride a derived
+  // stream, so the physics stream below only sees sampling uniforms).
+  if (buffer_pos_ >= buffer_fill_) refill(rng.key());
+  const float* probs =
+      &probs_buffer_[static_cast<std::size_t>(buffer_pos_) * n * s];
 
   // Save the current state for revert and for the reverse density.
   const auto occ = cfg.occupancy();
   saved_.assign(occ.begin(), occ.end());
 
-  // 3. Constrained sequential sampling of the candidate.
-  std::vector<double> remaining(s, 0.0);
-  for (std::uint8_t sp : saved_) remaining[sp] += 1.0;
+  // 3. Constrained sequential sampling of the candidate (n uniforms from
+  // the physics stream -- the ONLY draws this kernel takes from it).
+  remaining_.assign(s, 0.0);
+  for (std::uint8_t sp : saved_) remaining_[sp] += 1.0;
 
-  std::vector<std::uint8_t> candidate(n);
   double log_q_fwd = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* block = &probs[i * s];
-    double norm = 0.0;
-    for (std::size_t k = 0; k < s; ++k)
-      norm += static_cast<double>(block[k]) * remaining[k];
-    // norm > 0: probabilities are floored and sum(remaining) = n - i > 0.
-    double u = uniform01(rng) * norm;
-    std::size_t chosen = s - 1;
-    for (std::size_t k = 0; k < s; ++k) {
-      const double w = static_cast<double>(block[k]) * remaining[k];
-      if (u < w) {
-        chosen = k;
-        break;
+  double log_q_rev = 0.0;
+  double run_fwd = 1.0;  // product of ratios, flushed before underflow
+  if (s == 4) {
+    // Quaternary fast path: unrolled weights, a branchless
+    // cumulative-interval pick (the chosen species is random, so a
+    // scan-with-break mispredicts on most sites; three flag adds do
+    // not), and the reverse density of the CURRENT state fused into the
+    // same pass -- both sequential processes start from the same species
+    // counts and read the same probs block per site.
+    double rem_f[4];  // forward budget (follows the candidate)
+    double rem_r[4];  // reverse budget (follows the saved state)
+    for (std::size_t k = 0; k < 4; ++k) rem_f[k] = rem_r[k] = remaining_[k];
+    double run_rev = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* block = &probs[i * 4];
+      const double w0 = static_cast<double>(block[0]) * rem_f[0];
+      const double w1 = static_cast<double>(block[1]) * rem_f[1];
+      const double w2 = static_cast<double>(block[2]) * rem_f[2];
+      const double w3 = static_cast<double>(block[3]) * rem_f[3];
+      const double norm = (w0 + w1) + (w2 + w3);
+      // norm > 0: probs are floored and sum(remaining) = n - i > 0.
+      const double u = uniform01(rng) * norm;
+      const double c1 = w0;
+      const double c2 = w0 + w1;
+      const double c3 = c2 + w2;
+      std::size_t chosen = static_cast<std::size_t>(u >= c1) +
+                           static_cast<std::size_t>(u >= c2) +
+                           static_cast<std::size_t>(u >= c3);
+      // Guard: a boundary tie can land on an exhausted species.
+      while (rem_f[chosen] <= 0.0) {
+        DT_CHECK(chosen > 0);
+        --chosen;
       }
-      u -= w;
+      const double wsel[4] = {w0, w1, w2, w3};
+      run_fwd *= wsel[chosen] / norm;
+      if (run_fwd < 1e-270) {
+        log_q_fwd += std::log(run_fwd);
+        run_fwd = 1.0;
+      }
+      candidate_[i] = static_cast<std::uint8_t>(chosen);
+      rem_f[chosen] -= 1.0;
+
+      // Reverse: probability of re-drawing the saved species here.
+      const auto a = static_cast<std::size_t>(saved_[i]);
+      const double norm_r = static_cast<double>(block[0]) * rem_r[0] +
+                            static_cast<double>(block[1]) * rem_r[1] +
+                            static_cast<double>(block[2]) * rem_r[2] +
+                            static_cast<double>(block[3]) * rem_r[3];
+      run_rev *= static_cast<double>(block[a]) * rem_r[a] / norm_r;
+      if (run_rev < 1e-270) {
+        log_q_rev += std::log(run_rev);
+        run_rev = 1.0;
+      }
+      rem_r[a] -= 1.0;
     }
-    // Guard: the fallback (s-1) must have budget; scan back if not.
-    while (remaining[chosen] <= 0.0) {
-      DT_CHECK(chosen > 0);
-      --chosen;
+    log_q_rev += std::log(run_rev);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* block = &probs[i * s];
+      double norm = 0.0;
+      for (std::size_t k = 0; k < s; ++k)
+        norm += static_cast<double>(block[k]) * remaining_[k];
+      // norm > 0: probabilities are floored and sum(remaining) = n - i > 0.
+      double u = uniform01(rng) * norm;
+      std::size_t chosen = s - 1;
+      for (std::size_t k = 0; k < s; ++k) {
+        const double w = static_cast<double>(block[k]) * remaining_[k];
+        if (u < w) {
+          chosen = k;
+          break;
+        }
+        u -= w;
+      }
+      // Guard: the fallback (s-1) must have budget; scan back if not.
+      while (remaining_[chosen] <= 0.0) {
+        DT_CHECK(chosen > 0);
+        --chosen;
+      }
+      const double w =
+          static_cast<double>(block[chosen]) * remaining_[chosen];
+      run_fwd *= w / norm;
+      if (run_fwd < 1e-270) {
+        log_q_fwd += std::log(run_fwd);
+        run_fwd = 1.0;
+      }
+      candidate_[i] = static_cast<std::uint8_t>(chosen);
+      remaining_[chosen] -= 1.0;
     }
-    const double w =
-        static_cast<double>(block[chosen]) * remaining[chosen];
-    log_q_fwd += std::log(w / norm);
-    candidate[i] = static_cast<std::uint8_t>(chosen);
-    remaining[chosen] -= 1.0;
+    // 4. Reverse density of the current state under the same z (the
+    // s == 4 branch computes it fused into the sampling pass above).
+    log_q_rev = sequential_log_density_scratch(
+        std::span<const float>(probs, n * s), saved_, cfg.n_species(),
+        remaining_);
+  }
+  log_q_fwd += std::log(run_fwd);
+
+  // 5. Energy: sparse delta over changed sites when the candidate stays
+  // close to the current state (the trained-VAE regime); a full
+  // recompute is cheaper once more than half the sites change, because
+  // the sparse walk visits changed sites' bonds from both endpoints.
+  const bool telem = obs::Telemetry::instance().enabled();
+  std::size_t n_changed = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    n_changed += candidate_[i] != saved_[i] ? 1u : 0u;
+
+  double delta_energy;
+  if (2 * n_changed <= n) {
+    const bool audit_due =
+        audit_interval_ != 0 && (served_ + 1) % audit_interval_ == 0;
+    double full_before = 0.0;
+    if (audit_due) full_before = hamiltonian_->total_energy(cfg);
+    const auto d = hamiltonian_->assign_delta(cfg, candidate_, delta_ws_);
+    delta_energy = d.delta_energy;
+    cfg.assign(candidate_);
+    if (audit_due) {
+      const double full_after = hamiltonian_->total_energy(cfg);
+      const double err =
+          std::abs((full_after - full_before) - delta_energy);
+      const double tol = 1e-9 * std::max(1.0, std::abs(full_after));
+      if (telem) audit_checks_->add();
+      if (err > tol) {
+        if (telem) audit_failures_->add();
+        DT_CHECK_MSG(false, "assign_delta audit failed: |"
+                                << (full_after - full_before) << " - "
+                                << delta_energy << "| = " << err << " > "
+                                << tol);
+      }
+    }
+    if (telem) delta_sparse_->add();
+  } else {
+    cfg.assign(candidate_);
+    delta_energy = hamiltonian_->total_energy(cfg) - current_energy;
+    if (telem) delta_full_->add();
   }
 
-  // 4. Reverse density of the current state under the same z.
-  const double log_q_rev = sequential_log_density(probs, saved_, cfg.n_species());
-
-  cfg.assign(candidate);
-  const double new_energy = hamiltonian_->total_energy(cfg);
-
+  ++buffer_pos_;
+  ++served_;
   ++stats_.proposed;
+  if (telem) {
+    decode_served_->add();
+    delta_changed_sites_->add(n_changed);
+  }
+
   mc::ProposalResult result;
   result.valid = true;
-  result.delta_energy = new_energy - current_energy;
+  result.delta_energy = delta_energy;
   result.log_q_ratio = log_q_rev - log_q_fwd;
   return result;
 }
@@ -113,6 +316,29 @@ void VaeProposal::set_condition(std::vector<float> condition) {
                    vae_->options().condition_dim,
                "condition size must equal the VAE's condition_dim");
   condition_ = std::move(condition);
+  // Decoded probabilities depend on the condition; drop the cache (the
+  // latent ordinals are untouched, so the z sequence is unaffected).
+  buffer_pos_ = buffer_fill_ = 0;
+}
+
+void VaeProposal::set_decode_batch(std::int32_t k) {
+  DT_CHECK_MSG(k >= 1, "decode batch must be >= 1");
+  decode_batch_ = k;
+  buffer_pos_ = buffer_fill_ = 0;
+}
+
+void VaeProposal::save_state(std::ostream& os) const {
+  write_pod(os, kStateMagic);
+  write_pod(os, served_);
+  write_pod(os, stats_);
+}
+
+void VaeProposal::load_state(std::istream& is) {
+  DT_CHECK_MSG(read_pod<std::uint32_t>(is) == kStateMagic,
+               "VaeProposal::load_state: bad magic");
+  served_ = read_pod<std::uint64_t>(is);
+  stats_ = read_pod<VaeProposalStats>(is);
+  buffer_pos_ = buffer_fill_ = 0;  // cache; regenerated on demand
 }
 
 void VaeProposal::revert(Configuration& cfg) {

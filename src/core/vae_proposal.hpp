@@ -19,15 +19,50 @@
 // The decoder's probabilities are floored (uniform mixing, see
 // Vae::decode_probs), so q(x|z) > 0 everywhere: the kernel is irreducible
 // on the fixed-composition slice and the log-ratio is bounded.
+//
+// Decode-ahead fast path (RNG stream discipline)
+// ----------------------------------------------
+// Decoding one latent at a time pays a batch-1 GEMM per proposal; this
+// kernel instead batch-decodes K latents into a buffer and serves them
+// one proposal at a time. So that the buffer is pure CACHE -- no
+// behavioural state -- the latent draws do NOT come from the walker's
+// physics stream:
+//
+//  * The physics stream (the `rng` passed to propose()) supplies ONLY
+//    the n per-site uniforms of the constrained sequential sampling.
+//    Its draw order is identical for every decode batch size.
+//  * Latents come from a dedicated Philox stream whose key is derived
+//    from the physics stream's key (fixed XOR tag, so it is distinct
+//    from every physics/exchange stream yet needs no extra wiring), and
+//    whose counter is a pure function of the proposal ordinal: proposal
+//    t consumes exactly the draws [t*4*latent, (t+1)*4*latent) (normal01
+//    on a 32-bit generator consumes 4 draws). z_t therefore depends only
+//    on t, never on K.
+//
+// Consequences, both pinned in test_vae_proposal:
+//  * Proposal sequences are bitwise identical for any decode batch size.
+//  * The only persistent fast-path state is the served-proposal ordinal
+//    `served_`; save_state/load_state round-trip it (plus the stats) and
+//    a resumed walker regenerates the buffer on demand, bit-exactly.
+//
+// z stays independent of the chain state, so the MH argument above is
+// untouched. Energy evaluation uses the sparse EpiHamiltonian::
+// assign_delta walk over changed sites when the candidate differs on
+// less than half the lattice (else a full recompute is cheaper), with a
+// periodic audit against total_energy (set_audit_interval).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lattice/hamiltonian.hpp"
 #include "mc/proposal.hpp"
 #include "nn/vae.hpp"
+#include "obs/metrics.hpp"
 
 namespace dt::core {
 
@@ -46,6 +81,18 @@ struct VaeProposalStats {
 
 class VaeProposal final : public mc::Proposal {
  public:
+  /// Decode-ahead depth: latents decoded per VAE forward pass. 16 keeps
+  /// the decoder weight streaming amortised (the buffer is K * n_sites *
+  /// n_species floats per walker -- ~0.5 MB at paper scale).
+  static constexpr std::int32_t kDefaultDecodeBatch = 16;
+  /// Default audit cadence (proposals between delta-vs-total cross
+  /// checks); denser in debug builds where the audit cost is acceptable.
+#ifdef NDEBUG
+  static constexpr std::uint64_t kDefaultAuditInterval = 512;
+#else
+  static constexpr std::uint64_t kDefaultAuditInterval = 64;
+#endif
+
   /// `vae` is shared (read-only during sampling) across walkers; its
   /// n_sites/n_species must match the configurations sampled.
   VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
@@ -64,7 +111,41 @@ class VaeProposal final : public mc::Proposal {
   /// (e.g. its window's normalised centre energy). The condition must be
   /// STATE-INDEPENDENT -- constant per walker -- or detailed balance is
   /// lost; that is why it is a set-once property, not a per-move input.
+  /// Invalidates any decoded-ahead buffer.
   void set_condition(std::vector<float> condition);
+
+  /// Drop the decoded-ahead probabilities. MUST be called whenever the
+  /// shared VAE's weights change under the kernel (e.g. after a mid-run
+  /// ddp_fit refresh): buffered probs decoded from the old weights would
+  /// otherwise survive the refresh, making the sampled sequence depend
+  /// on K and breaking bit-exact resume. Latent ordinals are untouched.
+  void invalidate_decode_cache() { buffer_pos_ = buffer_fill_ = 0; }
+
+  /// Decode-ahead depth K (>= 1; 1 recovers per-proposal decoding).
+  /// Changing K never changes the proposal sequence -- see the stream
+  /// discipline above. Invalidates the current buffer.
+  void set_decode_batch(std::int32_t k);
+  [[nodiscard]] std::int32_t decode_batch() const { return decode_batch_; }
+
+  /// Audit cadence: cross-check the sparse delta against total_energy
+  /// every `interval` proposals (0 disables). A disagreement beyond
+  /// 1e-9 * max(1, |E|) aborts via DT_CHECK and counts in the
+  /// kernel.vae.audit.failures metric.
+  void set_audit_interval(std::uint64_t interval) {
+    audit_interval_ = interval;
+  }
+  [[nodiscard]] std::uint64_t audit_interval() const {
+    return audit_interval_;
+  }
+
+  /// Proposals served so far == the next latent ordinal (the fast
+  /// path's only persistent state).
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+
+  /// Round-trip `served_` + stats; the decode buffer is a cache and is
+  /// deliberately NOT saved -- it regenerates bit-exactly on demand.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
   /// Exact log-density of `occupancy` under the constrained sequential
   /// process with per-site probabilities `probs` (n_sites*n_species).
@@ -74,12 +155,46 @@ class VaeProposal final : public mc::Proposal {
       int n_species);
 
  private:
+  /// Decode the next K latents (ordinals served_ .. served_+K-1) into
+  /// probs_buffer_. `physics_key` seeds the derived latent stream.
+  void refill(const std::array<std::uint32_t, 2>& physics_key);
+
+  /// sequential_log_density against caller-provided scratch (the static
+  /// public overload allocates; the hot path must not).
+  static double sequential_log_density_scratch(
+      std::span<const float> probs, std::span<const std::uint8_t> occupancy,
+      int n_species, std::vector<double>& remaining);
+
   const lattice::EpiHamiltonian* hamiltonian_;
   std::shared_ptr<nn::Vae> vae_;
   VaeProposalStats stats_;
   std::vector<std::uint8_t> saved_;   // pre-proposal occupancy for revert
-  std::vector<float> z_;              // scratch latent
   std::vector<float> condition_;      // fixed decoder condition
+
+  // Decode-ahead buffer (cache; reconstructible from served_ alone).
+  std::int32_t decode_batch_ = kDefaultDecodeBatch;
+  std::uint64_t served_ = 0;          // proposals served == next ordinal
+  std::int32_t buffer_pos_ = 0;       // next unserved slot
+  std::int32_t buffer_fill_ = 0;      // decoded slots (0 == invalid)
+  std::vector<float> z_batch_;        // K * latent scratch
+  std::vector<float> probs_buffer_;   // K * n_sites * n_species
+
+  // Hot-path scratch, hoisted out of propose().
+  std::vector<double> remaining_;     // species budget (n_species)
+  std::vector<std::uint8_t> candidate_;
+  lattice::DeltaWorkspace delta_ws_;
+
+  std::uint64_t audit_interval_ = kDefaultAuditInterval;
+
+  // Shared metric handles (resolved once; adds gated on telemetry).
+  obs::Counter* decode_batches_;
+  obs::Counter* decode_decoded_;
+  obs::Counter* decode_served_;
+  obs::Counter* delta_changed_sites_;
+  obs::Counter* delta_sparse_;
+  obs::Counter* delta_full_;
+  obs::Counter* audit_checks_;
+  obs::Counter* audit_failures_;
 };
 
 }  // namespace dt::core

@@ -1,5 +1,7 @@
 #include "lattice/hamiltonian.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -12,13 +14,15 @@ namespace dt::lattice {
 
 EpiHamiltonian::EpiHamiltonian(int n_species,
                                std::vector<std::vector<double>> couplings)
-    : n_species_(n_species), couplings_(std::move(couplings)) {
+    : n_species_(n_species),
+      n_shells_(static_cast<int>(couplings.size())) {
   DT_CHECK(n_species_ >= 1);
-  DT_CHECK(!couplings_.empty());
+  DT_CHECK(!couplings.empty());
   const auto s = static_cast<std::size_t>(n_species_);
   min_coupling_ = std::numeric_limits<double>::infinity();
   max_coupling_ = -std::numeric_limits<double>::infinity();
-  for (const auto& v : couplings_) {
+  couplings_.reserve(couplings.size() * s * s);
+  for (const auto& v : couplings) {
     DT_CHECK_MSG(v.size() == s * s, "coupling matrix size mismatch");
     for (std::size_t a = 0; a < s; ++a) {
       for (std::size_t b = 0; b < s; ++b) {
@@ -29,6 +33,7 @@ EpiHamiltonian::EpiHamiltonian(int n_species,
         max_coupling_ = std::max(max_coupling_, v[a * s + b]);
       }
     }
+    couplings_.insert(couplings_.end(), v.begin(), v.end());
   }
 }
 
@@ -45,13 +50,20 @@ double EpiHamiltonian::total_energy_serial(const Configuration& cfg) const {
   const Lattice& lat = cfg.lattice();
   DT_CHECK_MSG(n_shells() <= lat.num_shells(),
                "Hamiltonian has more shells than the lattice resolves");
+  // Upper-half adjacency: each bond exactly once with no per-bond
+  // branch. Bonds of one site (<= z/2 terms) are summed plainly -- a
+  // short, independent chain the CPU can overlap across sites -- and
+  // Kahan compensation is applied once per site; a per-bond Kahan add
+  // serialises the whole loop on its 4-op dependency chain.
+  const std::span<const Species> occ = cfg.occupancy();
   KahanSum energy;
   for (int s = 0; s < n_shells(); ++s) {
     for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
-      const Species a = cfg.at(site);
-      for (std::int32_t nb : lat.neighbors(site, s)) {
-        if (nb > site) energy.add(coupling(s, a, cfg.at(nb)));
-      }
+      const double* row = coupling_row(s, occ[static_cast<std::size_t>(site)]);
+      double site_sum = 0.0;
+      for (std::int32_t nb : lat.half_neighbors(site, s))
+        site_sum += row[occ[static_cast<std::size_t>(nb)]];
+      energy.add(site_sum);
     }
   }
   return energy.value();
@@ -61,19 +73,32 @@ double EpiHamiltonian::total_energy_parallel(const Configuration& cfg) const {
   const Lattice& lat = cfg.lattice();
   DT_CHECK_MSG(n_shells() <= lat.num_shells(),
                "Hamiltonian has more shells than the lattice resolves");
-  double energy = 0.0;
-  for (int s = 0; s < n_shells(); ++s) {
-#pragma omp parallel for reduction(+ : energy) schedule(static)
-    for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
-      const Species a = cfg.at(site);
-      double local = 0.0;
-      for (std::int32_t nb : lat.neighbors(site, s)) {
-        if (nb > site) local += coupling(s, a, cfg.at(nb));
+  // Per-thread Kahan partials instead of a plain reduction(+): a naive
+  // sum drifts from total_energy_serial at the ULP level, which would
+  // make results depend on which side of the size threshold a lattice
+  // lands (pinned serial == parallel in test_hamiltonian). The final
+  // combine is over one partial per thread, ordered by thread id.
+  std::vector<double> partials(
+      static_cast<std::size_t>(omp_get_max_threads()), 0.0);
+#pragma omp parallel
+  {
+    KahanSum local;
+    for (int s = 0; s < n_shells(); ++s) {
+#pragma omp for schedule(static) nowait
+      for (std::int32_t site = 0; site < lat.num_sites(); ++site) {
+        const double* row =
+            coupling_row(s, cfg.at(site));  // same shape as the serial path
+        double site_sum = 0.0;
+        for (std::int32_t nb : lat.half_neighbors(site, s))
+          site_sum += row[cfg.at(nb)];
+        local.add(site_sum);
       }
-      energy += local;
     }
+    partials[static_cast<std::size_t>(omp_get_thread_num())] = local.value();
   }
-  return energy;
+  KahanSum energy;
+  for (double p : partials) energy.add(p);
+  return energy.value();
 }
 
 double EpiHamiltonian::site_energy(const Configuration& cfg,
@@ -125,6 +150,50 @@ double EpiHamiltonian::set_delta(const Configuration& cfg, std::int32_t site,
     for (std::int32_t nb : lat.neighbors(site, s))
       delta += coupling(s, species, cfg.at(nb)) - coupling(s, old, cfg.at(nb));
   return delta;
+}
+
+AssignDeltaResult EpiHamiltonian::assign_delta(
+    const Configuration& cfg, std::span<const Species> candidate,
+    DeltaWorkspace& ws) const {
+  const Lattice& lat = cfg.lattice();
+  const std::int32_t n = lat.num_sites();
+  DT_CHECK_MSG(candidate.size() == static_cast<std::size_t>(n),
+               "assign_delta: candidate size mismatch");
+  DT_CHECK_MSG(n_shells() <= lat.num_shells(),
+               "Hamiltonian has more shells than the lattice resolves");
+
+  ws.changed_mask.assign(static_cast<std::size_t>(n), 0);
+  ws.changed_sites.clear();
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (cfg.at(i) != candidate[static_cast<std::size_t>(i)]) {
+      ws.changed_mask[static_cast<std::size_t>(i)] = 1;
+      ws.changed_sites.push_back(i);
+    }
+  }
+
+  KahanSum delta;
+  for (int s = 0; s < n_shells(); ++s) {
+    for (std::int32_t i : ws.changed_sites) {
+      const Species old_i = cfg.at(i);
+      const Species new_i = candidate[static_cast<std::size_t>(i)];
+      for (std::int32_t nb : lat.neighbors(i, s)) {
+        if (ws.changed_mask[static_cast<std::size_t>(nb)] == 0) {
+          // The neighbour keeps its species: field-term difference.
+          const Species b = cfg.at(nb);
+          delta.add(coupling(s, new_i, b) - coupling(s, old_i, b));
+        } else if (nb > i) {
+          // Both endpoints change: count the bond exactly once.
+          delta.add(coupling(s, new_i,
+                             candidate[static_cast<std::size_t>(nb)]) -
+                    coupling(s, old_i, cfg.at(nb)));
+        }
+      }
+    }
+  }
+  AssignDeltaResult result;
+  result.delta_energy = delta.value();
+  result.n_changed = static_cast<std::int32_t>(ws.changed_sites.size());
+  return result;
 }
 
 std::int64_t EpiHamiltonian::bond_count(const Lattice& lat) const {

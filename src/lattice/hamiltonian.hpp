@@ -21,6 +21,18 @@
 
 namespace dt::lattice {
 
+/// Reusable scratch for EpiHamiltonian::assign_delta -- holding it in the
+/// caller (one per walker) keeps the hot path allocation-free.
+struct DeltaWorkspace {
+  std::vector<std::uint8_t> changed_mask;     // per-site "differs" flag
+  std::vector<std::int32_t> changed_sites;    // indices of changed sites
+};
+
+struct AssignDeltaResult {
+  double delta_energy = 0.0;
+  std::int32_t n_changed = 0;  ///< sites where candidate differs from cfg
+};
+
 class EpiHamiltonian {
  public:
   /// `couplings[s]` is the row-major S x S matrix V_s; each must be
@@ -29,15 +41,21 @@ class EpiHamiltonian {
                  std::vector<std::vector<double>> couplings);
 
   [[nodiscard]] int n_species() const { return n_species_; }
-  [[nodiscard]] int n_shells() const {
-    return static_cast<int>(couplings_.size());
-  }
+  [[nodiscard]] int n_shells() const { return n_shells_; }
 
   [[nodiscard]] double coupling(int shell, Species a, Species b) const {
-    return couplings_[static_cast<std::size_t>(shell)]
-                     [static_cast<std::size_t>(a) *
-                          static_cast<std::size_t>(n_species_) +
-                      b];
+    // One contiguous [shell][a][b] table: a single indexed load in the
+    // delta/total-energy inner loops instead of a double indirection.
+    return coupling_row(shell, a)[b];
+  }
+
+  /// Row V_s(a, *) of the flat table; hot loops hoist this so the inner
+  /// bond iteration is a single indexed load per neighbour.
+  [[nodiscard]] const double* coupling_row(int shell, Species a) const {
+    return &couplings_[(static_cast<std::size_t>(shell) *
+                            static_cast<std::size_t>(n_species_) +
+                        a) *
+                       static_cast<std::size_t>(n_species_)];
   }
 
   /// Total energy, each pair counted once. Dispatches to an OpenMP
@@ -62,6 +80,19 @@ class EpiHamiltonian {
   [[nodiscard]] double set_delta(const Configuration& cfg, std::int32_t site,
                                  Species species) const;
 
+  /// Energy change of replacing cfg's occupancy wholesale by `candidate`
+  /// (same length; cfg is NOT mutated), visiting only the bonds incident
+  /// to CHANGED sites -- O(f N z) for a changed-site fraction f instead
+  /// of the O(N z) full recompute. Exact: bonds between two changed
+  /// sites are counted once (via the nb > site rule), bonds to unchanged
+  /// neighbours contribute their coupling difference. The VAE global
+  /// move uses this instead of total_energy (see DESIGN.md "Proposal
+  /// fast path"); note the sparse walk is cheaper than total_energy only
+  /// when f < 1/2, which the proposal layer checks before dispatching.
+  AssignDeltaResult assign_delta(const Configuration& cfg,
+                                 std::span<const Species> candidate,
+                                 DeltaWorkspace& ws) const;
+
   /// Lower/upper bounds on the per-bond coupling, used to bracket the
   /// reachable energy range: N_bonds * min <= E <= N_bonds * max.
   [[nodiscard]] double min_coupling() const { return min_coupling_; }
@@ -72,7 +103,8 @@ class EpiHamiltonian {
 
  private:
   int n_species_;
-  std::vector<std::vector<double>> couplings_;  // [shell][a*S+b]
+  int n_shells_;
+  std::vector<double> couplings_;  // flat [(shell*S + a)*S + b]
   double min_coupling_ = 0.0;
   double max_coupling_ = 0.0;
 };

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,14 @@ class Proposal {
   telemetry() const {
     return {};
   }
+
+  /// Checkpoint hooks for kernels that carry state beyond the walker's
+  /// rng/configuration (e.g. the VAE kernel's decode-ahead ordinal --
+  /// see core/vae_proposal.hpp). Stateless kernels keep the no-op
+  /// defaults; the REWL driver round-trips these through the per-rank
+  /// checkpoint record so resumed runs stay bit-exact.
+  virtual void save_state(std::ostream& /*os*/) const {}
+  virtual void load_state(std::istream& /*is*/) {}
 };
 
 /// Swap the species of two random sites of differing species. Symmetric.

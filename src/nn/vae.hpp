@@ -78,6 +78,17 @@ class Vae {
   [[nodiscard]] std::vector<float> decode_probs(
       std::span<const float> z, std::span<const float> condition = {});
 
+  /// Batched decode: `z` holds `batch` latent vectors back to back
+  /// (batch * latent floats) and decodes through ONE GEMM instead of
+  /// `batch` -- the proposal layer's decode-ahead buffer lives on this.
+  /// `condition` (length condition_dim) is broadcast to every row.
+  /// Output: batch * n_sites * n_species probabilities, row-major, each
+  /// row identical to what decode_probs would return for that z. Runs
+  /// under NoGradGuard: no autograd tape is built.
+  [[nodiscard]] std::vector<float> decode_probs_batch(
+      std::span<const float> z, std::int64_t batch,
+      std::span<const float> condition = {});
+
   /// Posterior mean of the encoder for one one-hot configuration
   /// (diagnostics; length latent).
   [[nodiscard]] std::vector<float> encode_mean(

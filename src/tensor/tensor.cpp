@@ -1,6 +1,8 @@
 #include "tensor/tensor.hpp"
 
 #include <algorithm>
+
+#include "tensor/gemm.hpp"
 #include <cmath>
 #include <sstream>
 #include <unordered_set>
@@ -35,6 +37,11 @@ void Node::ensure_grad() {
   if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
 }
 
+bool& grad_mode_flag() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+
 }  // namespace detail
 
 using detail::Node;
@@ -53,7 +60,8 @@ std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> data,
   return n;
 }
 
-/// Result node wiring: requires_grad if any parent does.
+/// Result node wiring: requires_grad if any parent does (and the
+/// thread's autograd mode is on -- see NoGradGuard).
 std::shared_ptr<Node> make_op(Shape shape, std::vector<float> value,
                               std::vector<std::shared_ptr<Node>> parents,
                               std::function<void(Node&)> backward) {
@@ -62,11 +70,17 @@ std::shared_ptr<Node> make_op(Shape shape, std::vector<float> value,
   n->value = std::move(value);
   n->parents = std::move(parents);
   n->requires_grad = false;
-  for (const auto& p : n->parents)
-    if (p->requires_grad) n->requires_grad = true;
+  if (detail::grad_mode_flag())
+    for (const auto& p : n->parents)
+      if (p->requires_grad) n->requires_grad = true;
   if (n->requires_grad) {
     n->backward = std::move(backward);
     n->ensure_grad();
+  } else {
+    // Constant result (no grad-requiring parent, or NoGradGuard active):
+    // drop the parent edges so inference-only forwards build no graph
+    // and upstream activations free as soon as they go out of scope.
+    n->parents.clear();
   }
   return n;
 }
@@ -427,16 +441,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const auto cols = static_cast<std::size_t>(b.shape()[1]);
   const auto& av = a.node()->value;
   const auto& bv = b.node()->value;
-  std::vector<float> out(rows * cols, 0.0f);
-  // ikj loop order: streams through b rows, vectorises the inner loop.
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t k = 0; k < inner; ++k) {
-      const float aik = av[i * inner + k];
-      const float* brow = &bv[k * cols];
-      float* orow = &out[i * cols];
-      for (std::size_t j = 0; j < cols; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  std::vector<float> out(rows * cols);
+  gemm_nn(rows, inner, cols, av.data(), bv.data(), out.data());
   auto node = make_op(
       {a.shape()[0], b.shape()[1]}, std::move(out), {a.node(), b.node()},
       [rows, inner, cols](Node& self) {
@@ -444,26 +450,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         Node& pb = *self.parents[1];
         pa.ensure_grad();
         pb.ensure_grad();
-        // dA = dY . B^T
-        for (std::size_t i = 0; i < rows; ++i) {
-          for (std::size_t k = 0; k < inner; ++k) {
-            float acc = 0.0f;
-            const float* dyrow = &self.grad[i * cols];
-            const float* brow = &pb.value[k * cols];
-            for (std::size_t j = 0; j < cols; ++j) acc += dyrow[j] * brow[j];
-            pa.grad[i * inner + k] += acc;
-          }
-        }
-        // dB = A^T . dY
-        for (std::size_t k = 0; k < inner; ++k) {
-          for (std::size_t i = 0; i < rows; ++i) {
-            const float aik = pa.value[i * inner + k];
-            const float* dyrow = &self.grad[i * cols];
-            float* dbrow = &pb.grad[k * cols];
-            for (std::size_t j = 0; j < cols; ++j)
-              dbrow[j] += aik * dyrow[j];
-          }
-        }
+        // dA += dY . B^T
+        gemm_nt_acc(rows, inner, cols, self.grad.data(), pb.value.data(),
+                    pa.grad.data());
+        // dB += A^T . dY
+        gemm_tn_acc(rows, inner, cols, pa.value.data(), self.grad.data(),
+                    pb.grad.data());
       });
   return Tensor(node);
 }

@@ -44,7 +44,28 @@ struct Node {
   void ensure_grad();
 };
 
+/// Thread-local autograd mode flag (see NoGradGuard).
+[[nodiscard]] bool& grad_mode_flag();
+
 }  // namespace detail
+
+/// RAII guard disabling graph construction on the current thread: ops
+/// executed under it produce constant tensors (no backward closures, no
+/// gradient buffers, requires_grad == false). Inference-only paths such
+/// as Vae::decode_probs use it so the Monte Carlo hot loop never pays
+/// tape-building overhead. Leaf constructors are unaffected.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(detail::grad_mode_flag()) {
+    detail::grad_mode_flag() = false;
+  }
+  ~NoGradGuard() { detail::grad_mode_flag() = prev_; }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 class Tensor {
  public:

@@ -1,0 +1,226 @@
+// Correctness of the blocked GEMM kernels behind tensor::matmul, pinned
+// against a naive triple loop: randomized shapes including degenerate
+// and non-block-multiple edges, accumulate semantics of the backward
+// kernels, and bitwise serial == parallel equality (the parallel path
+// splits row tiles only, never the k reduction, so the arithmetic is
+// identical by construction).
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dt::tensor {
+namespace {
+
+std::vector<float> random_matrix(std::int64_t rows, std::int64_t cols,
+                                 std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(rows * cols));
+  for (auto& v : m)
+    v = static_cast<float>(2.0 * uniform01(rng) - 1.0);
+  return m;
+}
+
+std::vector<float> naive_nn(std::int64_t m, std::int64_t k, std::int64_t n,
+                            const std::vector<float>& a,
+                            const std::vector<float>& b) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0F);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t t = 0; t < k; ++t) {
+      const float av = a[static_cast<std::size_t>(i * k + t)];
+      for (std::int64_t j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i * n + j)] +=
+            av * b[static_cast<std::size_t>(t * n + j)];
+    }
+  return c;
+}
+
+// The blocked kernel reassociates the k reduction, so compare with a
+// tolerance scaled by the reduction length.
+void expect_close(const std::vector<float>& got,
+                  const std::vector<float>& want, std::int64_t k_len) {
+  ASSERT_EQ(got.size(), want.size());
+  const float tol = 1e-5F * static_cast<float>(k_len);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol) << "at flat index " << i;
+}
+
+struct Shape {
+  std::int64_t m, k, n;
+};
+
+// Degenerate vectors, sub-microtile edges, non-multiples of the 4x32
+// register tile and of the 256/1024 cache blocks, and one shape past the
+// packing threshold.
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 5, 9},    {3, 1, 4},    {1, 64, 1},   {7, 33, 65},
+    {4, 32, 32}, {5, 33, 31},  {8, 257, 33}, {33, 257, 129}, {16, 300, 47},
+};
+
+TEST(GemmNN, MatchesNaiveReferenceAcrossShapes) {
+  std::uint64_t salt = 0;
+  for (const Shape& s : kShapes) {
+    const auto a = random_matrix(s.m, s.k, 100 + salt);
+    const auto b = random_matrix(s.k, s.n, 200 + salt);
+    ++salt;
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 7.0F);
+    gemm_nn(static_cast<std::size_t>(s.m), static_cast<std::size_t>(s.k),
+            static_cast<std::size_t>(s.n), a.data(), b.data(), c.data());
+    expect_close(c, naive_nn(s.m, s.k, s.n, a, b), s.k);
+  }
+}
+
+TEST(GemmNN, OverwritesStaleOutput) {
+  const auto a = random_matrix(6, 11, 1);
+  const auto b = random_matrix(11, 13, 2);
+  std::vector<float> c(6 * 13, 1e30F);  // must not leak into the result
+  gemm_nn(6, 11, 13, a.data(), b.data(), c.data());
+  expect_close(c, naive_nn(6, 11, 13, a, b), 11);
+}
+
+TEST(GemmNNAcc, AccumulatesIntoNonzeroOutput) {
+  // C[i][j] += sum_t A[i][t] * B[t][j] -- the bias-prefilled forward in
+  // Linear::forward relies on the initial C surviving.
+  const std::int64_t m = 7, k = 19, n = 37;
+  const auto a = random_matrix(m, k, 40);
+  const auto b = random_matrix(k, n, 41);
+  const auto init = random_matrix(m, n, 42);
+
+  std::vector<float> got = init;
+  gemm_nn_acc(m, k, n, a.data(), b.data(), got.data());
+
+  std::vector<float> want = naive_nn(m, k, n, a, b);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    want[i] += init[i];
+  expect_close(got, want, k);
+}
+
+TEST(GemmNtAcc, AccumulatesGradIntoNonzeroOutput) {
+  // dA[i][t] += sum_j dY[i][j] * B[t][j] -- exactly matmul's dA term.
+  const std::int64_t m = 9, k = 21, n = 35;
+  const auto dy = random_matrix(m, n, 3);
+  const auto b = random_matrix(k, n, 4);
+  const auto init = random_matrix(m, k, 5);
+
+  std::vector<float> got = init;
+  gemm_nt_acc(m, k, n, dy.data(), b.data(), got.data());
+
+  std::vector<float> want = init;
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t t = 0; t < k; ++t) {
+      float acc = 0.0F;
+      for (std::int64_t j = 0; j < n; ++j)
+        acc += dy[static_cast<std::size_t>(i * n + j)] *
+               b[static_cast<std::size_t>(t * n + j)];
+      want[static_cast<std::size_t>(i * k + t)] += acc;
+    }
+  expect_close(got, want, n);
+}
+
+TEST(GemmTnAcc, AccumulatesGradIntoNonzeroOutput) {
+  // dB[t][j] += sum_i A[i][t] * dY[i][j] -- exactly matmul's dB term.
+  const std::int64_t m = 17, k = 13, n = 29;
+  const auto a = random_matrix(m, k, 6);
+  const auto dy = random_matrix(m, n, 7);
+  const auto init = random_matrix(k, n, 8);
+
+  std::vector<float> got = init;
+  gemm_tn_acc(m, k, n, a.data(), dy.data(), got.data());
+
+  std::vector<float> want = init;
+  for (std::int64_t t = 0; t < k; ++t)
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t i = 0; i < m; ++i)
+        acc += a[static_cast<std::size_t>(i * k + t)] *
+               dy[static_cast<std::size_t>(i * n + j)];
+      want[static_cast<std::size_t>(t * n + j)] += acc;
+    }
+  expect_close(got, want, m);
+}
+
+// The OpenMP path must be a pure scheduling change: forcing parallel vs
+// serial on a shape above the auto threshold gives bitwise-equal output
+// (the k reduction is never split across threads).
+TEST(GemmMode, ParallelIsBitwiseEqualToSerial) {
+  const std::int64_t m = 128, k = 128, n = 512;  // 2*m*k*n > kAuto threshold
+  const auto a = random_matrix(m, k, 9);
+  const auto b = random_matrix(k, n, 10);
+
+  std::vector<float> serial(static_cast<std::size_t>(m * n));
+  std::vector<float> parallel(static_cast<std::size_t>(m * n));
+  std::vector<float> automatic(static_cast<std::size_t>(m * n));
+  gemm_nn(m, k, n, a.data(), b.data(), serial.data(), GemmMode::kSerial);
+  gemm_nn(m, k, n, a.data(), b.data(), parallel.data(), GemmMode::kParallel);
+  gemm_nn(m, k, n, a.data(), b.data(), automatic.data(), GemmMode::kAuto);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, automatic);
+
+  std::vector<float> acc_s(static_cast<std::size_t>(m * k), 0.5F);
+  std::vector<float> acc_p(static_cast<std::size_t>(m * k), 0.5F);
+  gemm_nt_acc(m, k, n, serial.data(), b.data(), acc_s.data(),
+              GemmMode::kSerial);
+  gemm_nt_acc(m, k, n, serial.data(), b.data(), acc_p.data(),
+              GemmMode::kParallel);
+  EXPECT_EQ(acc_s, acc_p);
+
+  std::vector<float> accb_s(static_cast<std::size_t>(k * n), -0.25F);
+  std::vector<float> accb_p(static_cast<std::size_t>(k * n), -0.25F);
+  gemm_tn_acc(m, k, n, a.data(), serial.data(), accb_s.data(),
+              GemmMode::kSerial);
+  gemm_tn_acc(m, k, n, a.data(), serial.data(), accb_p.data(),
+              GemmMode::kParallel);
+  EXPECT_EQ(accb_s, accb_p);
+}
+
+// End-to-end through the autograd layer: forward values and both input
+// gradients of matmul must match the naive reference.
+TEST(TensorMatmul, ForwardAndBackwardMatchNaive) {
+  const std::int64_t m = 5, k = 37, n = 19;
+  const auto av = random_matrix(m, k, 11);
+  const auto bv = random_matrix(k, n, 12);
+
+  auto a = Tensor::from_data({m, k}, av, /*requires_grad=*/true);
+  auto b = Tensor::from_data({k, n}, bv, /*requires_grad=*/true);
+  auto y = matmul(a, b);
+  expect_close(y.data(), naive_nn(m, k, n, av, bv), k);
+
+  sum(y).backward();  // dY = all ones
+  std::vector<float> want_da(static_cast<std::size_t>(m * k), 0.0F);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t t = 0; t < k; ++t)
+      for (std::int64_t j = 0; j < n; ++j)
+        want_da[static_cast<std::size_t>(i * k + t)] +=
+            bv[static_cast<std::size_t>(t * n + j)];
+  std::vector<float> want_db(static_cast<std::size_t>(k * n), 0.0F);
+  for (std::int64_t t = 0; t < k; ++t)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t i = 0; i < m; ++i)
+        want_db[static_cast<std::size_t>(t * n + j)] +=
+            av[static_cast<std::size_t>(i * k + t)];
+  expect_close(a.grad(), want_da, n);
+  expect_close(b.grad(), want_db, m);
+}
+
+TEST(NoGradGuard, SuppressesTapeConstruction) {
+  auto a = Tensor::from_data({2, 3}, random_matrix(2, 3, 13),
+                             /*requires_grad=*/true);
+  auto b = Tensor::from_data({3, 2}, random_matrix(3, 2, 14),
+                             /*requires_grad=*/true);
+  {
+    const NoGradGuard no_grad;
+    auto y = matmul(a, b);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_TRUE(y.node()->parents.empty());
+  }
+  auto y = matmul(a, b);  // guard restored: tape records again
+  EXPECT_TRUE(y.requires_grad());
+}
+
+}  // namespace
+}  // namespace dt::tensor

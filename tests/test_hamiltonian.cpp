@@ -248,5 +248,91 @@ INSTANTIATE_TEST_SUITE_P(
                       Combo{LatticeType::kFCC, 3},
                       Combo{LatticeType::kFCC, 4}));
 
+TEST(EpiHamiltonian, ParallelKahanMatchesSerialTightly) {
+  // The parallel path keeps per-thread Kahan partials (not a plain
+  // reduction(+)), so it tracks the serial Kahan sum to near machine
+  // precision -- results must not depend on which side of the
+  // total_energy size threshold a lattice lands.
+  for (const int cells : {4, 8, 12}) {
+    const auto lat = Lattice::create(LatticeType::kBCC, cells, cells, cells, 2);
+    const auto ham = random_epi(4, 2, 0.3, 1234);
+    Xoshiro256ss rng(static_cast<std::uint64_t>(cells) * 13);
+    const auto cfg = random_configuration(lat, 4, rng);
+    const double serial = ham.total_energy_serial(cfg);
+    const double parallel = ham.total_energy_parallel(cfg);
+    EXPECT_NEAR(parallel, serial, 1e-12 * std::max(1.0, std::abs(serial)))
+        << "cells=" << cells;
+  }
+}
+
+TEST(EpiHamiltonian, AssignDeltaMatchesRecomputeSparse) {
+  // Few changed sites: the regime the sparse walk is built for.
+  const auto lat = Lattice::create(LatticeType::kBCC, 3, 3, 3, 2);
+  const auto ham = random_epi(4, 2, 0.2, 55);
+  Xoshiro256ss rng(77);
+  auto cfg = random_configuration(lat, 4, rng);
+  const auto n = static_cast<std::size_t>(lat.num_sites());
+  DeltaWorkspace ws;
+  for (int trial = 0; trial < 30; ++trial) {
+    // Candidate = configuration with a handful of random swaps applied
+    // (swaps keep the composition, like the VAE kernel's candidates).
+    std::vector<Species> candidate(cfg.occupancy().begin(),
+                                   cfg.occupancy().end());
+    const int swaps = 1 + trial % 5;
+    for (int sw = 0; sw < swaps; ++sw) {
+      const auto a = static_cast<std::size_t>(uniform_index(rng, n));
+      const auto b = static_cast<std::size_t>(uniform_index(rng, n));
+      std::swap(candidate[a], candidate[b]);
+    }
+    std::size_t want_changed = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (candidate[i] != cfg.at(static_cast<std::int32_t>(i)))
+        ++want_changed;
+
+    const double before = ham.total_energy(cfg);
+    const auto d = ham.assign_delta(cfg, candidate, ws);
+    EXPECT_EQ(static_cast<std::size_t>(d.n_changed), want_changed);
+
+    cfg.assign(candidate);
+    const double after = ham.total_energy(cfg);
+    ASSERT_NEAR(d.delta_energy, after - before,
+                1e-9 * std::max(1.0, std::abs(after)));
+  }
+}
+
+TEST(EpiHamiltonian, AssignDeltaExactWhenMostSitesChange) {
+  // Dense-change candidates (independent random configurations): every
+  // bond class -- changed-changed, changed-unchanged -- is exercised,
+  // including periodic self-images on the small supercell.
+  const auto lat = Lattice::create(LatticeType::kSimpleCubic, 2, 2, 2, 2);
+  const auto ham = random_epi(3, 2, 0.4, 91);
+  Xoshiro256ss rng(5);
+  auto cfg = random_configuration(lat, 3, rng);
+  DeltaWorkspace ws;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto other = random_configuration(lat, 3, rng);
+    std::vector<Species> candidate(other.occupancy().begin(),
+                                   other.occupancy().end());
+    const double before = ham.total_energy(cfg);
+    const auto d = ham.assign_delta(cfg, candidate, ws);
+    cfg.assign(candidate);
+    ASSERT_NEAR(d.delta_energy, ham.total_energy(cfg) - before,
+                1e-9 * std::max(1.0, std::abs(before)));
+  }
+}
+
+TEST(EpiHamiltonian, AssignDeltaIdenticalCandidateIsZero) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 2);
+  const auto ham = epi_nbmotaw();
+  Xoshiro256ss rng(3);
+  const auto cfg = random_configuration(lat, 4, rng);
+  std::vector<Species> candidate(cfg.occupancy().begin(),
+                                 cfg.occupancy().end());
+  DeltaWorkspace ws;
+  const auto d = ham.assign_delta(cfg, candidate, ws);
+  EXPECT_EQ(d.n_changed, 0);
+  EXPECT_EQ(d.delta_energy, 0.0);
+}
+
 }  // namespace
 }  // namespace dt::lattice
