@@ -18,6 +18,7 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/deepthermo.hpp"
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::bench {
@@ -63,6 +64,51 @@ inline std::string ckpt_metrics_json() {
   return ckpt.str();
 }
 
+/// Sampling-health digest from the live HealthRegistry (empty registry
+/// when the bench ran no REWL): per-walker flatness / round trips /
+/// proposal split plus the exchange-acceptance EWMAs, serialised into
+/// every --json line next to the checkpoint counters.
+inline std::string health_metrics_json() {
+  const obs::HealthSnapshot snap = obs::HealthRegistry::global().snapshot();
+  std::string walkers = "[";
+  for (std::size_t i = 0; i < snap.walkers.size(); ++i) {
+    const auto& w = snap.walkers[i];
+    if (i > 0) walkers += ',';
+    JsonWriter jw;
+    jw.field("rank", static_cast<std::int64_t>(w.rank))
+        .field("window", static_cast<std::int64_t>(w.window))
+        .field("flatness", w.flatness)
+        .field("f_stage", static_cast<std::int64_t>(w.f_stage))
+        .field("round_trips", static_cast<std::int64_t>(w.round_trips))
+        .field("round_trip_mean_s", w.round_trip_mean_s)
+        .field("local_acceptance", w.local_acceptance)
+        .field("vae_acceptance", w.vae_acceptance)
+        .field("converged", w.converged)
+        .field("stalled", w.stalled);
+    walkers += jw.str();
+  }
+  walkers += ']';
+  std::string pairs = "[";
+  for (std::size_t i = 0; i < snap.pairs.size(); ++i) {
+    const auto& p = snap.pairs[i];
+    if (i > 0) pairs += ',';
+    JsonWriter jp;
+    jp.field("pair", static_cast<std::int64_t>(i))
+        .field("attempted", static_cast<std::int64_t>(p.attempted))
+        .field("accepted", static_cast<std::int64_t>(p.accepted))
+        .field("ewma", p.ewma < 0.0 ? 0.0 : p.ewma);
+    pairs += jp.str();
+  }
+  pairs += ']';
+  JsonWriter health;
+  health.field("phase", snap.phase)
+      .field("stalled_walkers",
+             static_cast<std::int64_t>(snap.stalled_walkers))
+      .raw("walkers", walkers)
+      .raw("exchange_pairs", pairs);
+  return health.str();
+}
+
 /// Emit a table to stdout and, when --csv=<path> was given, to that file
 /// (suffix inserted before .csv when a bench emits several tables).
 /// When --json=<path> was given, additionally append one JSON line per
@@ -98,6 +144,7 @@ inline void emit(const Table& table, const Config& cfg,
         .field("tag", csv_tag)
         .field("wall_seconds", bench_clock().seconds())
         .raw("ckpt", ckpt_metrics_json())
+        .raw("health", health_metrics_json())
         .raw("columns", columns)
         .raw("rows", rows);
     std::ofstream out(json_path, std::ios::app);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "ckpt/signal.hpp"
@@ -18,6 +19,7 @@
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/deepthermo.hpp"
+#include "obs/http_server.hpp"
 #include "obs/telemetry.hpp"
 
 namespace {
@@ -72,6 +74,15 @@ scan_out =
 # *.jsonl streams events, *.csv writes one CSV per event type.
 telemetry =
 log_format = text       # text | json
+
+# live observability plane (see README "Live observability"): port >= 0
+# starts the embedded HTTP server (0 = ephemeral, printed at startup)
+# serving GET /metrics /status /healthz /trace on obs_http_bind.
+obs_http_port = -1
+obs_http_bind = 127.0.0.1
+# Flag walkers whose flatness has not improved for this many wall-clock
+# seconds (surfaced via /healthz and a WARN log; 0 = off).
+watchdog_stall_seconds = 0
 )";
 
 dt::lattice::LatticeType parse_lattice(const std::string& name) {
@@ -114,6 +125,19 @@ int main(int argc, char** argv) {
   if (!telemetry_path.empty())
     obs::Telemetry::instance().enable(telemetry_path);
 
+  std::optional<obs::HttpServer> obs_server;
+  const auto obs_port = static_cast<int>(cfg.get_int("obs_http_port", -1));
+  if (obs_port >= 0) {
+    obs::HttpServerOptions so;
+    so.bind = cfg.get_string("obs_http_bind", "127.0.0.1");
+    so.port = obs_port;
+    obs_server.emplace(so);
+    obs_server->start();
+    std::printf("observability: http://%s:%d (/metrics /status /healthz "
+                "/trace)\n",
+                so.bind.c_str(), obs_server->port());
+  }
+
   core::DeepThermoOptions opts;
   opts.lattice.type = parse_lattice(cfg.get_string("lattice", "bcc"));
   const auto cells = static_cast<int>(cfg.get_int("cells", 3));
@@ -141,6 +165,8 @@ int main(int argc, char** argv) {
       cfg.get_double("checkpoint_min_interval", 1.0);
   opts.checkpoint_keep = static_cast<int>(cfg.get_int("checkpoint_keep", 3));
   opts.resume = cfg.get_bool("resume", false);
+  opts.rewl.watchdog_stall_seconds =
+      cfg.get_double("watchdog_stall_seconds", 0.0);
   if (!opts.checkpoint_dir.empty()) ckpt::install_signal_handlers();
 
   // n_species == 4 selects the NbMoTaW preset; anything else gets a

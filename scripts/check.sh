@@ -26,6 +26,29 @@ cd "${build_dir}"
 ctest --output-on-failure -j "${jobs}" -L tier1 "$@"
 echo "check.sh: tier-1 suite clean under ASan/UBSan"
 
+# ---- ThreadSanitizer pass ----------------------------------------------
+# Races in the lock-free observability plane (metrics registry, trace
+# ring, health cells scraped over HTTP mid-run) slip past ASan; rebuild
+# the three concerned test binaries under TSan and run them directly.
+# Skip with DT_SKIP_TSAN=1 (e.g. when the toolchain lacks libtsan).
+if [[ "${DT_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "check.sh: TSan pass skipped (DT_SKIP_TSAN=1)"
+else
+  tsan_dir="${repo_root}/build-tsan"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDT_ENABLE_TSAN=ON >/dev/null
+  cmake --build "${tsan_dir}" -j "${jobs}" \
+    --target test_metrics test_trace test_http_obs
+  # OMP_NUM_THREADS=1: libgomp is not TSan-instrumented and would emit
+  # false positives from its own synchronisation.
+  for t in test_metrics test_trace test_http_obs; do
+    TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}" OMP_NUM_THREADS=1 \
+      "${tsan_dir}/tests/${t}"
+  done
+  echo "check.sh: observability tests clean under TSan"
+fi
+
 # ---- Release perf smoke -------------------------------------------------
 # Guards the proposal fast path (ISSUE 4): re-times the headline micro
 # benchmarks in the Release tree and fails on a >20% CPU-time regression

@@ -12,6 +12,7 @@
 #include "common/stopwatch.hpp"
 #include "mc/metropolis.hpp"
 #include "mc/multicanonical.hpp"
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "par/ddp.hpp"
@@ -178,6 +179,7 @@ nn::TrainReport Framework::pretrain() {
 nn::TrainReport Framework::pretrain_impl(ckpt::CheckpointStore* store,
                                          const ckpt::Checkpoint* resume) {
   DT_SPAN("pretrain");
+  obs::HealthRegistry::global().set_phase("pretrain");
   const PretrainOptions& po = options_.pretrain;
   DT_CHECK(po.n_temperatures >= 1);
   DT_CHECK(po.t_hi >= po.t_lo && po.t_lo > 0.0);
@@ -263,7 +265,8 @@ nn::TrainReport Framework::pretrain_impl(ckpt::CheckpointStore* store,
                         [&](std::ostream& os) { dataset.save_state(os); });
       builder.component("pretrain.trainer",
                         [&](std::ostream& os) { trainer.save_state(os); });
-      store->save(builder);
+      obs::HealthRegistry::global().set_checkpoint_generation(
+          store->save(builder).generation);
     }
   };
   nn::TrainReport report = trainer.fit(dataset, epoch_hook, first_epoch);
@@ -332,7 +335,8 @@ DeepThermoResult Framework::run() {
       ckpt::CheckpointBuilder builder;
       save_framework_component(builder, Phase::kRewl);
       builder.add("vae.pretrained", pretrained_weights_);
-      store->save(builder);
+      obs::HealthRegistry::global().set_checkpoint_generation(
+          store->save(builder).generation);
     }
   }
   result.pretrain_seconds = pretrain_clock.seconds();
@@ -529,7 +533,8 @@ DeepThermoResult Framework::run() {
         write_pod(os, result.vae_stats);
         write_pod(os, result.local_stats);
       });
-      store->save(builder);
+      obs::HealthRegistry::global().set_checkpoint_generation(
+          store->save(builder).generation);
     }
   }
 
@@ -547,6 +552,7 @@ DeepThermoResult Framework::run() {
   // ---- optional multicanonical production phase ----
   if (options_.production_sweeps > 0 && result.rewl.dos.num_visited() > 1) {
     DT_SPAN("production");
+    obs::HealthRegistry::global().set_phase("production");
     Stopwatch production_clock;
     mc::Rng init_rng(options_.seed, stream_id(0xBB, 0));
     lattice::Configuration cfg =
@@ -583,6 +589,7 @@ DeepThermoResult Framework::run() {
   }
 
   result.dos.normalize(log_total_states());
+  obs::HealthRegistry::global().set_phase("done");
 
   obs::Telemetry& telemetry = obs::Telemetry::instance();
   if (telemetry.enabled()) {

@@ -2,7 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
-#include "obs/telemetry.hpp"
+#include "obs/health.hpp"
 
 namespace dt::core {
 
@@ -26,7 +26,7 @@ mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
   // Component choice must be state-independent for the mixture to remain
   // a valid MH kernel; a fixed Bernoulli qualifies.
   last_was_global_ = uniform01(rng) < global_fraction_;
-  const bool telem = obs::Telemetry::instance().enabled();
+  const bool telem = obs::instrumentation_active();
   if (last_was_global_) {
     if (telem) vae_proposed_total_->add();
     return vae_.propose(cfg, current_energy, rng);
@@ -37,7 +37,7 @@ mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
 }
 
 void DeepThermoProposal::revert(lattice::Configuration& cfg) {
-  const bool telem = obs::Telemetry::instance().enabled();
+  const bool telem = obs::instrumentation_active();
   if (last_was_global_) {
     if (telem) vae_reverted_total_->add();
     vae_.revert(cfg);

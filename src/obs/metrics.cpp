@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -17,9 +19,11 @@ FixedHistogram::FixedHistogram(double lo, double hi, std::int32_t n_buckets)
 
 void FixedHistogram::observe(double x) {
   if (std::isnan(x) || x < lo_) {
+    if (!std::isnan(x)) sum_.fetch_add(x, std::memory_order_relaxed);
     underflow_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  sum_.fetch_add(x, std::memory_order_relaxed);
   if (x >= hi_) {
     overflow_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -33,6 +37,28 @@ std::uint64_t FixedHistogram::total() const {
   std::uint64_t n = underflow() + overflow();
   for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
   return n;
+}
+
+double FixedHistogram::value_at_quantile(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = static_cast<double>(underflow());
+  // Everything below lo clamps to lo: with the target rank inside the
+  // underflow mass (or q == 0) the best available estimate is the edge.
+  if (target <= cumulative) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double count =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (count > 0.0 && target <= cumulative + count) {
+      const double fraction = (target - cumulative) / count;
+      return lo_ + (static_cast<double>(i) + fraction) * width;
+    }
+    cumulative += count;
+  }
+  return hi_;  // rank landed in the overflow mass
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -84,9 +110,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       data.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
     data.underflow = h->underflow();
     data.overflow = h->overflow();
+    data.sum = h->sum();
     snap.histograms.push_back(std::move(data));
   }
   return snap;
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const FixedHistogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
 }
 
 void MetricsRegistry::reset() {

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,17 @@ class FixedHistogram {
     return overflow_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t total() const;
+  /// Sum of every finite observed value (NaN observations are counted
+  /// in underflow but excluded here); the Prometheus `_sum` sample.
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate by linear interpolation within the bucket that
+  /// holds rank q * total(). q is clamped to [0, 1]. Out-of-range
+  /// samples clamp to the histogram edges (underflow -> lo, overflow ->
+  /// hi); an empty histogram returns NaN.
+  [[nodiscard]] double value_at_quantile(double q) const;
 
  private:
   double lo_;
@@ -83,6 +95,7 @@ class FixedHistogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> underflow_{0};
   std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 /// Point-in-time copy of every registered instrument, name-sorted.
@@ -94,6 +107,7 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;
     std::uint64_t underflow = 0;
     std::uint64_t overflow = 0;
+    double sum = 0.0;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -114,6 +128,14 @@ class MetricsRegistry {
                             std::int32_t n_buckets);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Visit every histogram (name-sorted) under the registry lock --
+  /// concurrent observe() calls are safe (pure atomics). Lets readers
+  /// use FixedHistogram accessors that have no snapshot counterpart
+  /// (value_at_quantile) without holding instrument handles.
+  void for_each_histogram(
+      const std::function<void(const std::string&, const FixedHistogram&)>&
+          fn) const;
 
   /// Drop every instrument. Invalidates outstanding handles -- intended
   /// for test isolation only.

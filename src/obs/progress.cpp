@@ -1,6 +1,7 @@
 #include "obs/progress.hpp"
 
 #include "common/log.hpp"
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::obs {
@@ -26,6 +27,10 @@ void ProgressReporter::force(const std::function<std::string()>& render) {
 
 void ProgressReporter::report(const std::function<std::string()>& render) {
   DT_LOG_INFO << render();
+  // Heartbeats carry the sampling-health digest (stalls, min flatness,
+  // exchange acceptance) whenever the health plane is live.
+  const std::string health = HealthRegistry::global().summary_line();
+  if (!health.empty()) DT_LOG_INFO << health;
   Telemetry& telemetry = Telemetry::instance();
   if (telemetry.enabled()) {
     telemetry.snapshot_metrics();

@@ -2,6 +2,7 @@
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "obs/health.hpp"
 
 namespace dt::obs {
 
@@ -26,11 +27,15 @@ void Telemetry::add_sink(std::unique_ptr<Sink> sink) {
     sinks_.push_back(std::move(sink));
   }
   TraceRecorder::global().set_enabled(true);
-  enabled_.store(true, std::memory_order_relaxed);
+  // One retain per off->on transition; hot paths gate shared-counter
+  // updates on instrumentation_active() (telemetry OR HTTP servers).
+  if (!enabled_.exchange(true, std::memory_order_relaxed))
+    instrumentation_retain();
 }
 
 void Telemetry::disable() {
-  enabled_.store(false, std::memory_order_relaxed);
+  if (enabled_.exchange(false, std::memory_order_relaxed))
+    instrumentation_release();
   TraceRecorder::global().set_enabled(false);
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& sink : sinks_) sink->flush();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
+
+#include "obs/metrics.hpp"
 
 namespace dt::obs {
 
@@ -92,10 +95,16 @@ void ScopedSpan::end() {
   --t_span_depth;
   TraceRecorder& rec = TraceRecorder::global();
   SpanRecord record;
-  record.name = std::move(name_);
   record.depth = depth_;
   record.start_s = start_s_;
   record.duration_s = rec.now_s() - start_s_;
+  // Span durations straddle eight orders of magnitude (micro spans to
+  // whole-phase spans), so the per-name duration histogram lives in
+  // log10 space; /status inverts it for p50/p99 (see obs/http_server).
+  MetricsRegistry::global()
+      .histogram("trace.span_log10_s." + name_, -8.0, 3.0, 110)
+      .observe(std::log10(std::max(record.duration_s, 1e-8)));
+  record.name = std::move(name_);
   rec.record(std::move(record));
 }
 

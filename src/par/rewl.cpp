@@ -14,6 +14,7 @@
 #include "common/stopwatch.hpp"
 #include "lattice/configuration.hpp"
 #include "mc/proposal.hpp"
+#include "obs/health.hpp"
 #include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +42,7 @@ struct WireReport {
   std::int64_t sweeps;
   std::int32_t f_stages;
   double acceptance;
+  double flatness;
   std::uint64_t round_trips;
   std::int64_t exch_attempted;
   std::int64_t exch_accepted;
@@ -96,6 +98,15 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
 
   obs::Telemetry& telemetry = obs::Telemetry::instance();
   obs::ProgressReporter progress(options.progress_interval_seconds);
+
+  // Health plane: sized before the walker threads start so each rank can
+  // resolve a stable cell handle. Publishing is always on (one batch of
+  // relaxed stores per exchange block) -- the HTTP server may attach at
+  // any time and must not see an empty table.
+  obs::HealthRegistry& health = obs::HealthRegistry::global();
+  health.configure(options.total_ranks(), options.n_windows, wpw,
+                   options.watchdog_stall_seconds);
+  health.set_phase("rewl");
 
   run_ranks(options.total_ranks(), [&](Communicator& comm) {
     const int rank = comm.rank();
@@ -181,6 +192,8 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         metrics.counter("rewl.exchange.attempted");
     obs::Counter& exch_accepted_total =
         metrics.counter("rewl.exchange.accepted");
+    const std::shared_ptr<obs::WalkerHealthCell> health_cell =
+        health.walker_cell(rank);
     Stopwatch block_clock;
     std::int64_t sweeps_at_last_block = 0;
     bool interrupted_run = false;
@@ -246,6 +259,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
             if (checkpoint->add_components)
               checkpoint->add_components(builder);
             const ckpt::SaveReport saved = checkpoint->store->save(builder);
+            health.set_checkpoint_generation(saved.generation);
             std::lock_guard<std::mutex> lock(result_mutex);
             result.last_checkpoint_generation = saved.generation;
           }
@@ -298,18 +312,21 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
           const double lgi_ey = walker.log_g_at(e_y);
 
           ++exch.attempted;
-          if (telemetry.enabled()) exch_attempted_total.add();
+          if (obs::instrumentation_active()) exch_attempted_total.add();
           bool accept = false;
           if (std::isfinite(lgi_ey) && std::isfinite(lgj_ex)) {
             const double log_a =
                 (lgi_ex - lgi_ey) + (lgj_ey - lgj_ex);
             accept = log_a >= 0.0 || uniform01(exch_rng) < std::exp(log_a);
           }
+          // Pair EWMA: recorded once per attempt, by the deciding
+          // (lower) walker; pair index == lower window id.
+          health.record_exchange(window_id, accept);
           comm.send_value<std::uint8_t>(partner, kTagDecision,
                                         accept ? 1 : 0);
           if (accept) {
             ++exch.accepted;
-            if (telemetry.enabled()) exch_accepted_total.add();
+            if (obs::instrumentation_active()) exch_accepted_total.add();
             comm.send<std::uint8_t>(
                 partner, kTagConfigUp,
                 std::span<const std::uint8_t>(
@@ -343,8 +360,8 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         }
       }
 
-      if (telemetry.enabled()) {
-        rounds_total.add();
+      // ---- health publish (always on) + optional telemetry event ----
+      {
         const mc::WangLandauStats& st = walker.stats();
         const double block_s = block_clock.seconds();
         block_clock.reset();
@@ -356,35 +373,65 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         sweeps_at_last_block = st.sweeps;
         const double flatness = walker.histogram().flatness_ratio(
             window.lo_bin, window.hi_bin);
+        const auto kernel_telemetry = proposal->telemetry();
 
-        obs::Event event("rewl_walker");
-        event.with("rank", rank)
-            .with("window", window_id)
-            .with("round", round)
-            .with("sweeps", st.sweeps)
-            .with("sweeps_per_s", sweeps_per_s)
-            .with("log_f", walker.log_f())
-            .with("f_stage", st.f_stages_completed)
-            .with("flatness", flatness)
-            .with("acceptance", st.acceptance_rate())
-            .with("round_trips", st.round_trips)
-            .with("partner_window",
-                  partner < 0 ? -1 : (is_lower ? window_id + 1
-                                               : window_id - 1))
-            .with("exch_attempted", exch.attempted)
-            .with("exch_accepted", exch.accepted);
-        for (auto& [field, value] : proposal->telemetry())
-          event.with(std::move(field), value);
-        telemetry.emit(std::move(event));
+        obs::WalkerHealthSample sample;
+        sample.window = window_id;
+        sample.sweeps = st.sweeps;
+        sample.sweeps_per_s = sweeps_per_s;
+        sample.flatness = flatness;
+        sample.log_f = walker.log_f();
+        sample.f_stage = st.f_stages_completed;
+        sample.acceptance = st.acceptance_rate();
+        sample.round_trips = st.round_trips;
+        sample.energy = walker.energy();
+        sample.converged = walker.converged();
+        for (const auto& [field, value] : kernel_telemetry) {
+          if (field == "local_proposed")
+            sample.local_proposed = static_cast<std::uint64_t>(value);
+          else if (field == "local_accept")
+            sample.local_acceptance = value;
+          else if (field == "vae_proposed")
+            sample.vae_proposed = static_cast<std::uint64_t>(value);
+          else if (field == "vae_accept")
+            sample.vae_acceptance = value;
+        }
+        health.publish(health_cell, sample);
 
-        if (rank == 0) {
-          progress.poll([&] {
-            std::ostringstream os;
-            os << "rewl: round " << round << ", sweeps " << st.sweeps
-               << ", ln f " << walker.log_f() << ", flatness " << flatness
-               << ", acc " << st.acceptance_rate();
-            return os.str();
-          });
+        if (obs::instrumentation_active()) {
+          rounds_total.add();
+          if (telemetry.enabled()) {
+            obs::Event event("rewl_walker");
+            event.with("rank", rank)
+                .with("window", window_id)
+                .with("round", round)
+                .with("sweeps", st.sweeps)
+                .with("sweeps_per_s", sweeps_per_s)
+                .with("log_f", walker.log_f())
+                .with("f_stage", st.f_stages_completed)
+                .with("flatness", flatness)
+                .with("acceptance", st.acceptance_rate())
+                .with("round_trips", st.round_trips)
+                .with("partner_window",
+                      partner < 0 ? -1 : (is_lower ? window_id + 1
+                                                   : window_id - 1))
+                .with("exch_attempted", exch.attempted)
+                .with("exch_accepted", exch.accepted);
+            for (const auto& [field, value] : kernel_telemetry)
+              event.with(field, value);
+            telemetry.emit(std::move(event));
+          }
+
+          if (rank == 0) {
+            health.evaluate();  // watchdog heartbeat, once per round
+            progress.poll([&] {
+              std::ostringstream os;
+              os << "rewl: round " << round << ", sweeps " << st.sweeps
+                 << ", ln f " << walker.log_f() << ", flatness " << flatness
+                 << ", acc " << st.acceptance_rate();
+              return os.str();
+            });
+          }
         }
       }
       ++round;
@@ -446,6 +493,8 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
     WireReport my_report{walker.stats().sweeps,
                          walker.stats().f_stages_completed,
                          walker.stats().acceptance_rate(),
+                         walker.histogram().flatness_ratio(window.lo_bin,
+                                                           window.hi_bin),
                          walker.stats().round_trips,
                          exch.attempted,
                          exch.accepted,
@@ -483,11 +532,13 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         std::int64_t exch_att = 0, exch_acc = 0;
         bool all_conv = true;
         double acc_rate = 0.0;
+        wr.flatness = std::numeric_limits<double>::infinity();
         for (int k = 0; k < wpw; ++k) {
           const WireReport& r =
               reports[static_cast<std::size_t>(w * wpw + k)];
           wr.sweeps += r.sweeps;
           wr.f_stages = std::max(wr.f_stages, r.f_stages);
+          wr.flatness = std::min(wr.flatness, r.flatness);
           wr.round_trips += r.round_trips;
           acc_rate += r.acceptance;
           exch_att += r.exch_attempted;

@@ -41,8 +41,13 @@ struct RewlOptions {
   std::int64_t seek_sweeps = 2000;       ///< cap for driving into windows
   std::uint64_t seed = 42;
   /// Heartbeat cadence of the progress reporter (active only while
-  /// telemetry is enabled; see src/obs).
+  /// telemetry or the observability HTTP server is enabled; see src/obs).
   double progress_interval_seconds = 5.0;
+  /// Sampling-health watchdog: flag a walker stalled when its flatness
+  /// ratio has not improved within its current ln f stage for this many
+  /// wall-clock seconds (<= 0 disables). Verdicts surface via GET
+  /// /healthz, the health.stalled_walkers gauge and a WARN log.
+  double watchdog_stall_seconds = 0.0;
 
   [[nodiscard]] int total_ranks() const {
     return n_windows * walkers_per_window;
@@ -56,6 +61,8 @@ struct RewlWindowReport {
   std::int64_t sweeps = 0;
   int f_stages = 0;
   double acceptance = 0.0;
+  /// Worst final histogram flatness ratio over the window's walkers.
+  double flatness = 0.0;
   std::uint64_t round_trips = 0;
   /// Acceptance of exchanges with the *upper* neighbour window
   /// (meaningless for the last window).

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <thread>
 #include <vector>
+
+#include "common/error.hpp"
+#include "obs/exposition.hpp"
+#include "obs/health.hpp"
 
 namespace dt::obs {
 namespace {
@@ -138,6 +143,130 @@ TEST(MetricsRegistry, ConcurrentIncrementsFromEightThreads) {
 
 TEST(MetricsRegistry, GlobalIsASingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(FixedHistogram, SumTracksObservedValues) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 10.0, 5);
+  h.observe(1.0);
+  h.observe(2.5);
+  h.observe(-3.0);  // underflow still contributes to the sum
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // excluded
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+}
+
+TEST(FixedHistogram, QuantileOfEmptyHistogramIsNaN) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 1.0, 4);
+  EXPECT_TRUE(std::isnan(h.value_at_quantile(0.5)));
+}
+
+TEST(FixedHistogram, QuantileSingleBucketInterpolatesLinearly) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 10.0, 1);
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.0), 0.0);
+}
+
+TEST(FixedHistogram, QuantileClampsOutOfRangeMassToEdges) {
+  MetricsRegistry registry;
+  FixedHistogram& under = registry.histogram("u", 0.0, 1.0, 2);
+  for (int i = 0; i < 3; ++i) under.observe(-5.0);
+  EXPECT_DOUBLE_EQ(under.value_at_quantile(0.5), 0.0);
+
+  FixedHistogram& over = registry.histogram("o", 0.0, 1.0, 2);
+  for (int i = 0; i < 3; ++i) over.observe(100.0);
+  EXPECT_DOUBLE_EQ(over.value_at_quantile(0.5), 1.0);
+
+  // q outside [0, 1] clamps rather than extrapolating.
+  FixedHistogram& mid = registry.histogram("m", 0.0, 1.0, 2);
+  mid.observe(0.25);
+  EXPECT_DOUBLE_EQ(mid.value_at_quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mid.value_at_quantile(2.0), mid.value_at_quantile(1.0));
+}
+
+TEST(FixedHistogram, QuantileInterpolatesAcrossBuckets) {
+  MetricsRegistry registry;
+  FixedHistogram& h = registry.histogram("h", 0.0, 10.0, 5);
+  for (const double x : {1.0, 3.0, 5.0, 7.0, 9.0}) h.observe(x);
+  // Median rank 2.5 of 5 lands halfway through bucket [4, 6).
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.2), 2.0);
+}
+
+TEST(Exposition, SanitizeMapsInvalidCharsToUnderscore) {
+  EXPECT_EQ(sanitize_metric_name("mc.accepts"), "mc_accepts");
+  EXPECT_EQ(sanitize_metric_name("trace.span_log10_s.rewl"),
+            "trace_span_log10_s_rewl");
+  EXPECT_EQ(sanitize_metric_name("already_ok:name"), "already_ok:name");
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+TEST(Exposition, RendersCountersGaugesAndHistogramBuckets) {
+  MetricsRegistry registry;
+  registry.counter("mc.accepts").add(3);
+  registry.gauge("run.flatness").set(0.75);
+  FixedHistogram& h = registry.histogram("lat.seconds", 0.0, 4.0, 2);
+  h.observe(-1.0);  // underflow
+  h.observe(1.0);   // bucket 0
+  h.observe(3.0);   // bucket 1
+  h.observe(9.0);   // overflow
+
+  const std::string text = render_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE mc_accepts counter"), std::string::npos);
+  EXPECT_NE(text.find("mc_accepts 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE run_flatness gauge"), std::string::npos);
+  EXPECT_NE(text.find("run_flatness 0.75"), std::string::npos);
+  // Cumulative buckets: underflow folds into the first le bound.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"4\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 12"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 4"), std::string::npos);
+}
+
+TEST(Exposition, DuplicatePostSanitizationNamesThrow) {
+  MetricsRegistry registry;
+  registry.counter("mc.accepts").add(1);
+  registry.counter("mc accepts").add(1);
+  EXPECT_THROW(render_prometheus(registry.snapshot()), dt::Error);
+}
+
+TEST(Exposition, HealthOverlayEmitsWalkerAndPairSeries) {
+  MetricsRegistry registry;
+  HealthSnapshot health;
+  health.active = true;
+  health.uptime_s = 12.0;
+  health.checkpoint_generation = 7;
+  HealthSnapshot::Walker w;
+  w.rank = 0;
+  w.window = 0;
+  w.flatness = 0.5;
+  w.round_trips = 2;
+  health.walkers.push_back(w);
+  HealthSnapshot::Pair p;
+  p.attempted = 10;
+  p.accepted = 4;
+  p.ewma = 0.4;
+  health.pairs.push_back(p);
+  health.stalled_walkers = 1;
+
+  const std::string text =
+      render_prometheus(registry.snapshot(), health);
+  EXPECT_NE(text.find(
+                "health_walker_flatness{rank=\"0\",window=\"0\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("health_exchange_attempted{pair=\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("health_exchange_acceptance_ewma{pair=\"0\"} 0.4"),
+            std::string::npos);
+  EXPECT_NE(text.find("health_stalled_walkers 1"), std::string::npos);
+  EXPECT_NE(text.find("health_checkpoint_generation 7"), std::string::npos);
 }
 
 }  // namespace
