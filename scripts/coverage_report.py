@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and enforce per-directory floors.
+
+Usage:
+    scripts/coverage_report.py [build_dir]
+
+Walks ``build_dir`` (default: build-cov/) for ``.gcda`` counter files
+produced by a DT_ENABLE_COVERAGE build after a test run, shells out to
+``gcov --json-format --stdout`` (no gcovr/lcov dependency), merges the
+per-translation-unit counts, and prints a per-file table for the
+project's own sources.
+
+Exits non-zero if line coverage for the floored directories falls below
+the thresholds — these are the subsystems whose correctness argument
+rests on tests, so untested lines there are a red flag:
+
+    src/mc/        >= DT_COV_FLOOR_MC       (default 85%)
+    src/validate/  >= DT_COV_FLOOR_VALIDATE (default 85%)
+"""
+
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FLOORS = {
+    "src/mc/": float(os.environ.get("DT_COV_FLOOR_MC", "85")),
+    "src/validate/": float(os.environ.get("DT_COV_FLOOR_VALIDATE", "85")),
+}
+
+
+def find_gcda(build_dir):
+    for root, _dirs, names in os.walk(build_dir):
+        for name in names:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda):
+    """One merged-JSON document per .gcda, parsed; None on gcov failure."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        cwd=os.path.dirname(gcda),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return None
+    # --stdout emits one JSON document per line (one per .gcda given).
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line:
+            docs.append(json.loads(line))
+    return docs
+
+
+def merge_counts(build_dir):
+    """source path -> {line -> hit count (max across TUs)}."""
+    counts = defaultdict(lambda: defaultdict(int))
+    n_gcda = 0
+    for gcda in find_gcda(build_dir):
+        docs = gcov_json(gcda)
+        if not docs:
+            continue
+        n_gcda += 1
+        for doc in docs:
+            for f in doc.get("files", []):
+                path = os.path.normpath(
+                    os.path.join(os.path.dirname(gcda), f["file"]))
+                if not path.startswith(REPO_ROOT + os.sep):
+                    continue
+                rel = os.path.relpath(path, REPO_ROOT)
+                if not rel.startswith("src" + os.sep):
+                    continue  # tests/bench/examples don't gate coverage
+                lines = counts[rel]
+                for ln in f.get("lines", []):
+                    no = ln["line_number"]
+                    # A line is covered if ANY TU executed it (headers
+                    # compile into many TUs; inline code counts once).
+                    lines[no] = max(lines[no], ln["count"])
+    if n_gcda == 0:
+        sys.exit(f"coverage_report.py: no usable .gcda under {build_dir}; "
+                 "configure with -DDT_ENABLE_COVERAGE=ON and run the tests")
+    return counts
+
+
+def main():
+    # Absolute: gcov runs with cwd set to each counter's directory, so a
+    # relative build_dir would stop resolving there.
+    build_dir = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else
+        os.path.join(REPO_ROOT, "build-cov"))
+    if not os.path.isdir(build_dir):
+        sys.exit(f"coverage_report.py: no build tree at {build_dir}")
+
+    counts = merge_counts(build_dir)
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    print(f"{'file':<44} {'lines':>7} {'hit':>7} {'cov%':>7}")
+    for rel in sorted(counts):
+        lines = counts[rel]
+        total = len(lines)
+        covered = sum(1 for c in lines.values() if c > 0)
+        pct = 100.0 * covered / total if total else 100.0
+        print(f"{rel:<44} {total:>7} {covered:>7} {pct:>6.1f}%")
+        for prefix in FLOORS:
+            if rel.startswith(prefix):
+                per_dir[prefix][0] += covered
+                per_dir[prefix][1] += total
+
+    print()
+    failed = False
+    for prefix, floor in sorted(FLOORS.items()):
+        covered, total = per_dir[prefix]
+        pct = 100.0 * covered / total if total else 0.0
+        verdict = "ok" if pct >= floor else "BELOW FLOOR"
+        if pct < floor:
+            failed = True
+        print(f"{prefix:<16} {pct:6.1f}%  (floor {floor:.0f}%)  {verdict}")
+
+    if failed:
+        sys.exit("coverage_report.py: line-coverage floor violated")
+    print("coverage_report.py: all floors met")
+
+
+if __name__ == "__main__":
+    main()

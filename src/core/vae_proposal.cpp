@@ -112,6 +112,16 @@ double VaeProposal::sequential_log_density(
                                         remaining);
 }
 
+std::span<const float> VaeProposal::last_probs() const {
+  if (buffer_pos_ <= 0 || buffer_pos_ > buffer_fill_) return {};
+  const auto slot_size =
+      static_cast<std::size_t>(vae_->options().n_sites) *
+      static_cast<std::size_t>(vae_->options().n_species);
+  return {&probs_buffer_[static_cast<std::size_t>(buffer_pos_ - 1) *
+                         slot_size],
+          slot_size};
+}
+
 void VaeProposal::refill(const std::array<std::uint32_t, 2>& physics_key) {
   const auto latent = static_cast<std::size_t>(vae_->latent_dim());
   const auto k = static_cast<std::size_t>(decode_batch_);

@@ -147,6 +147,13 @@ class VaeProposal final : public mc::Proposal {
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
 
+  /// Decoder probabilities (n_sites*n_species) that produced the most
+  /// recent proposal; empty before the first propose() or after a cache
+  /// invalidation. The detailed-balance checker recomputes both
+  /// sequential densities from this span and cross-checks the kernel's
+  /// own log_q_ratio bookkeeping exactly.
+  [[nodiscard]] std::span<const float> last_probs() const;
+
   /// Exact log-density of `occupancy` under the constrained sequential
   /// process with per-site probabilities `probs` (n_sites*n_species).
   /// Exposed for tests.

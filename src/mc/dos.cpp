@@ -19,6 +19,10 @@ DensityOfStates::DensityOfStates(const EnergyGrid& grid)
 void DensityOfStates::add(std::int32_t bin, double delta_log_f) {
   auto i = static_cast<std::size_t>(bin);
   DT_CHECK(bin >= 0 && bin < grid_.n_bins());
+  // Finite-ln-g is a class invariant: a NaN/Inf entering one fragment
+  // would silently poison every stitch/normalize/thermo downstream.
+  DT_CHECK_MSG(std::isfinite(delta_log_f),
+               "DOS add: non-finite ln f increment " << delta_log_f);
   log_g_[i] += delta_log_f;
   visited_[i] = 1;
 }
@@ -26,6 +30,8 @@ void DensityOfStates::add(std::int32_t bin, double delta_log_f) {
 void DensityOfStates::set(std::int32_t bin, double value) {
   auto i = static_cast<std::size_t>(bin);
   DT_CHECK(bin >= 0 && bin < grid_.n_bins());
+  DT_CHECK_MSG(std::isfinite(value),
+               "DOS set: non-finite ln g " << value << " at bin " << bin);
   log_g_[i] = value;
   visited_[i] = 1;
 }
@@ -94,6 +100,11 @@ DensityOfStates DensityOfStates::stitch(
   ordered.reserve(parts.size());
   for (const auto& p : parts) {
     DT_CHECK_MSG(p.first_visited() >= 0, "stitch: empty fragment");
+    // Defense in depth against fragments deserialised or assembled
+    // outside the class invariant (add/set reject non-finite values).
+    for (std::int32_t b = p.first_visited(); b <= p.last_visited(); ++b)
+      DT_CHECK_MSG(!p.visited(b) || std::isfinite(p.log_g(b)),
+                   "stitch: non-finite ln g at bin " << b);
     ordered.push_back(&p);
   }
   std::sort(ordered.begin(), ordered.end(),
@@ -180,6 +191,11 @@ DensityOfStates DensityOfStates::load(std::istream& is) {
   std::int32_t bin = 0;
   double energy = 0.0, lg = 0.0;
   while (is >> bin >> energy >> lg) dos.set(bin, lg);
+  // The loop must stop at end-of-stream, not at a malformed entry:
+  // stream extraction rejects "nan"/"inf" tokens, and silently
+  // truncating there would drop bins instead of surfacing corruption.
+  DT_CHECK_MSG(is.eof(), "DOS load: malformed entry after "
+                             << dos.num_visited() << " bins");
   return dos;
 }
 

@@ -1,0 +1,98 @@
+// Empirical detailed-balance checker for Monte Carlo proposal kernels.
+//
+// On a state space small enough to enumerate, the Metropolis-Hastings
+// transition kernel built from a Proposal is measured directly: from
+// every state x the proposal is sampled many times, each candidate x' is
+// looked up in the enumerated space, and the acceptance probability
+//
+//   alpha(x -> x') = min(1, exp(-beta dE + log_q_ratio))
+//
+// is accumulated into an empirical flow matrix K[x][x'] (the acceptance
+// enters as its exact expectation rather than a Bernoulli draw, which
+// removes one layer of sampling noise for free). Detailed balance
+// demands pi(x) K(x->x') == pi(x') K(x'->x) for the canonical target
+// pi ~ exp(-beta E); the checker asserts the worst pairwise discrepancy
+// in units of its own Monte Carlo sigma, so a silently-wrong q-ratio
+// (the failure mode of every asymmetric kernel, including the VAE
+// decode-ahead path) shows up as a diverging z-score as the sample
+// count grows, while a correct kernel stays flat at z = O(1).
+//
+// Along the way the checker audits, for every proposal:
+//   * delta_energy against the exact energy difference of the looked-up
+//     states (catches stale incremental-energy bookkeeping),
+//   * that the candidate stays inside the fixed-composition space
+//     (catches composition leaks),
+//   * that revert() restores the exact previous occupancy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "lattice/hamiltonian.hpp"
+#include "lattice/lattice.hpp"
+#include "mc/proposal.hpp"
+
+namespace dt::validate {
+
+struct BalanceOptions {
+  /// Canonical target temperature; moderate values exercise both accept
+  /// and reject branches of alpha.
+  double temperature = 1.0;
+  /// Proposal draws per enumerated state.
+  std::uint64_t proposals_per_state = 200;
+  /// Acceptance threshold on the worst pairwise z-score.
+  double k_sigma = 5.0;
+  /// Tolerance for delta_energy vs the exact state-energy difference,
+  /// relative to max(1, |E|).
+  double delta_energy_tol = 1e-9;
+  /// Refuse state spaces larger than this (the flow matrix is dense:
+  /// 2 * max_states^2 doubles).
+  std::size_t max_states = 2000;
+  /// A pair (i, j) enters the z-check only when both directions were
+  /// proposed at least this often: the variance estimate of a flow seen
+  /// once or twice is itself pure noise, and such pairs would dominate
+  /// worst_z with false alarms. Rare pairs still contribute through the
+  /// off_space / delta-energy audits.
+  std::uint64_t min_samples_per_direction = 5;
+};
+
+struct BalanceReport {
+  std::size_t n_states = 0;
+  std::uint64_t n_proposals = 0;   ///< total propose() calls
+  std::uint64_t n_invalid = 0;     ///< valid == false results (no move)
+  std::uint64_t n_self = 0;        ///< candidates equal to the source state
+  std::uint64_t n_off_space = 0;   ///< candidates outside the enumerated
+                                   ///< fixed-composition space (must be 0)
+  std::size_t n_pairs = 0;         ///< (i, j) pairs with observed flow
+  double max_delta_energy_error = 0.0;  ///< worst relative dE mismatch
+  double worst_z = 0.0;            ///< worst |pi_i K_ij - pi_j K_ji| / sigma
+  std::size_t worst_i = 0;         ///< state pair achieving worst_z
+  std::size_t worst_j = 0;
+  bool pass = false;
+
+  /// Human-readable one-line verdict for test failure messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Optional per-proposal hook, called after every *valid* propose() and
+/// before the revert: `before`/`after` are the source and candidate
+/// occupancies. Tests use this to cross-check kernel-specific
+/// bookkeeping (e.g. VaeProposal's reverse density) exactly.
+using ProposalAudit = std::function<void(
+    const mc::ProposalResult& result, std::span<const std::uint8_t> before,
+    std::span<const std::uint8_t> after)>;
+
+/// Measure `proposal` over the full fixed-composition space of `lat` and
+/// report the worst detailed-balance violation. `composition` must sum
+/// to lat.num_sites(); the state space is every distinct arrangement of
+/// that multiset. Throws dt::Error on contract violations (revert
+/// failure, oversized space); statistical verdicts land in the report.
+BalanceReport check_detailed_balance(
+    mc::Proposal& proposal, const lattice::EpiHamiltonian& hamiltonian,
+    const lattice::Lattice& lat, std::span<const std::int32_t> composition,
+    mc::Rng& rng, const BalanceOptions& options = {},
+    const ProposalAudit& audit = nullptr);
+
+}  // namespace dt::validate

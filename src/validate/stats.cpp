@@ -1,0 +1,343 @@
+#include "validate/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace dt::validate {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Lower incomplete gamma by series expansion (converges fast for
+/// x < a + 1).
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15)
+      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  DT_CHECK_MSG(false, "gamma_p series failed to converge: a=" << a
+                                                              << " x=" << x);
+  return 0.0;  // unreachable
+}
+
+/// Upper incomplete gamma by Lentz continued fraction (x >= a + 1).
+double gamma_q_cf(double a, double x) {
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15)
+      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  DT_CHECK_MSG(false, "gamma_q continued fraction failed to converge: a="
+                          << a << " x=" << x);
+  return 0.0;  // unreachable
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  DT_CHECK_MSG(a > 0.0 && x >= 0.0, "gamma_p domain: a=" << a << " x=" << x);
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  DT_CHECK_MSG(a > 0.0 && x >= 0.0, "gamma_q domain: a=" << a << " x=" << x);
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double chi_square_sf(double x, double dof) {
+  DT_CHECK_MSG(dof > 0.0, "chi_square_sf: dof must be positive");
+  if (x <= 0.0) return 1.0;
+  return gamma_q(0.5 * dof, 0.5 * x);
+}
+
+double kolmogorov_sf(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Alternating series; terms shrink double-exponentially.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-18) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double normal_two_sided_sf(double z) {
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+GofResult chi_square_uniform(std::span<const std::uint64_t> counts,
+                             double tau) {
+  DT_CHECK_MSG(tau >= 0.5, "chi_square_uniform: tau < 0.5 is unphysical");
+  const std::size_t n_cells = counts.size();
+  DT_CHECK_MSG(n_cells >= 2, "chi_square_uniform: need >= 2 cells");
+  double total = 0.0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  DT_CHECK_MSG(total > 0.0, "chi_square_uniform: empty histogram");
+
+  const double expected = total / static_cast<double>(n_cells);
+  double x2 = 0.0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    x2 += d * d / expected;
+  }
+  // Correlated visits: 2 tau - 1 consecutive samples carry one
+  // independent sample's information (Sokal), deflating the statistic.
+  x2 /= std::max(1.0, 2.0 * tau - 1.0);
+
+  GofResult r;
+  r.statistic = x2;
+  r.n_cells = n_cells;
+  r.dof = static_cast<double>(n_cells - 1);
+  r.p_value = chi_square_sf(x2, r.dof);
+  return r;
+}
+
+GofResult chi_square_expected(std::span<const std::uint64_t> counts,
+                              std::span<const double> probabilities,
+                              double tau, double min_expected) {
+  DT_CHECK_MSG(counts.size() == probabilities.size(),
+               "chi_square_expected: counts/probabilities size mismatch");
+  DT_CHECK_MSG(tau >= 0.5, "chi_square_expected: tau < 0.5 is unphysical");
+  double total = 0.0;
+  double prob_norm = 0.0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  for (const auto p : probabilities) {
+    DT_CHECK_MSG(p >= 0.0 && std::isfinite(p),
+                 "chi_square_expected: bad probability " << p);
+    prob_norm += p;
+  }
+  DT_CHECK_MSG(total > 0.0, "chi_square_expected: empty histogram");
+  DT_CHECK_MSG(prob_norm > 0.0, "chi_square_expected: all-zero expectation");
+
+  GofResult r;
+  // Pool adjacent cells until each pooled cell's expectation clears
+  // min_expected (the classical validity rule for the chi-square
+  // approximation). A zero-probability cell with observed counts is an
+  // immediate failure: the model says those states are unreachable.
+  double obs_pool = 0.0;
+  double exp_pool = 0.0;
+  double x2 = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = total * probabilities[i] / prob_norm;
+    if (expected == 0.0) {
+      if (counts[i] > 0) {
+        r.statistic = kInf;
+        r.p_value = 0.0;
+        r.n_cells = counts.size();
+        r.dof = 1.0;
+        return r;
+      }
+      continue;
+    }
+    obs_pool += static_cast<double>(counts[i]);
+    exp_pool += expected;
+    if (exp_pool >= min_expected) {
+      const double d = obs_pool - exp_pool;
+      x2 += d * d / exp_pool;
+      ++cells;
+      obs_pool = exp_pool = 0.0;
+    }
+  }
+  if (exp_pool > 0.0) {
+    // Trailing underweight pool: merge into the last full cell by just
+    // adding its contribution (slightly conservative).
+    const double d = obs_pool - exp_pool;
+    x2 += d * d / std::max(exp_pool, min_expected);
+  }
+  DT_CHECK_MSG(cells >= 2,
+               "chi_square_expected: fewer than 2 cells clear min_expected="
+                   << min_expected << " (total=" << total << ")");
+  x2 /= std::max(1.0, 2.0 * tau - 1.0);
+
+  r.statistic = x2;
+  r.n_cells = cells;
+  r.dof = static_cast<double>(cells - 1);
+  r.p_value = chi_square_sf(x2, r.dof);
+  return r;
+}
+
+GofResult ks_discrete(std::span<const std::uint64_t> counts,
+                      std::span<const double> probabilities, double tau) {
+  DT_CHECK_MSG(counts.size() == probabilities.size(),
+               "ks_discrete: counts/probabilities size mismatch");
+  DT_CHECK_MSG(!counts.empty(), "ks_discrete: empty input");
+  DT_CHECK_MSG(tau >= 0.5, "ks_discrete: tau < 0.5 is unphysical");
+  double total = 0.0;
+  double prob_norm = 0.0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  for (const auto p : probabilities) {
+    DT_CHECK_MSG(p >= 0.0 && std::isfinite(p),
+                 "ks_discrete: bad probability " << p);
+    prob_norm += p;
+  }
+  DT_CHECK_MSG(total > 0.0, "ks_discrete: empty histogram");
+  DT_CHECK_MSG(prob_norm > 0.0, "ks_discrete: all-zero expectation");
+
+  double cdf_obs = 0.0;
+  double cdf_exp = 0.0;
+  double d_max = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cdf_obs += static_cast<double>(counts[i]) / total;
+    cdf_exp += probabilities[i] / prob_norm;
+    d_max = std::max(d_max, std::abs(cdf_obs - cdf_exp));
+  }
+
+  const double n_eff = total / std::max(1.0, 2.0 * tau - 1.0);
+  const double sqrt_n = std::sqrt(n_eff);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d_max;
+
+  GofResult r;
+  r.statistic = d_max;
+  r.dof = n_eff;
+  r.n_cells = counts.size();
+  r.p_value = kolmogorov_sf(lambda);
+  return r;
+}
+
+GofResult chi_square_flatness(const mc::Histogram& histogram, std::int32_t lo,
+                              std::int32_t hi, double tau) {
+  DT_CHECK_MSG(lo >= 0 && hi < histogram.grid().n_bins() && lo <= hi,
+               "chi_square_flatness: bad window [" << lo << ", " << hi << "]");
+  std::vector<std::uint64_t> visited;
+  for (std::int32_t b = lo; b <= hi; ++b)
+    if (histogram.count(b) > 0) visited.push_back(histogram.count(b));
+  DT_CHECK_MSG(visited.size() >= 2,
+               "chi_square_flatness: fewer than 2 visited bins in window");
+  return chi_square_uniform(visited, tau);
+}
+
+double ErrorBar::z_against(double reference) const {
+  return z_score(mean, reference, sigma);
+}
+
+std::vector<double> decorrelated_blocks(std::span<const double> series) {
+  DT_CHECK_MSG(!series.empty(), "decorrelated_blocks: empty series");
+  const double tau = integrated_autocorrelation_time(series);
+  const auto block_len = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(5.0 * tau)));
+  std::vector<double> blocks;
+  blocks.reserve(series.size() / block_len + 1);
+  for (std::size_t start = 0; start + block_len <= series.size();
+       start += block_len) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < block_len; ++i) acc += series[start + i];
+    blocks.push_back(acc / static_cast<double>(block_len));
+  }
+  return blocks;
+}
+
+ErrorBar blocked_error(std::span<const double> series) {
+  DT_CHECK_MSG(series.size() >= 2, "blocked_error: need >= 2 samples");
+  const double tau = integrated_autocorrelation_time(series);
+
+  RunningStats raw;
+  for (const double x : series) raw.add(x);
+
+  ErrorBar out;
+  out.mean = raw.mean();
+  out.tau = tau;
+  out.n = series.size();
+
+  const auto blocks = decorrelated_blocks(series);
+  if (blocks.size() >= 4) {
+    RunningStats bs;
+    for (const double b : blocks) bs.add(b);
+    out.n_blocks = blocks.size();
+    out.sigma = bs.stderror();
+  } else {
+    // Too short to block: inflate the naive error by the correlation
+    // factor 2 tau (exact for an AR(1)-like series, conservative enough
+    // here).
+    out.n_blocks = 1;
+    out.sigma = raw.stddev() *
+                std::sqrt(2.0 * tau / static_cast<double>(series.size()));
+  }
+  return out;
+}
+
+ErrorBar jackknife(std::span<const double> blocks,
+                   const std::function<double(std::span<const double>)>& f) {
+  const std::size_t n = blocks.size();
+  DT_CHECK_MSG(n >= 2, "jackknife: need >= 2 blocks");
+  const double full = f(blocks);
+
+  std::vector<double> loo(blocks.begin(), blocks.end());
+  std::vector<double> estimates;
+  estimates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::swap(loo[i], loo[n - 1]);
+    estimates.push_back(f(std::span<const double>(loo.data(), n - 1)));
+    std::swap(loo[i], loo[n - 1]);
+  }
+
+  double mean_loo = 0.0;
+  for (const double e : estimates) mean_loo += e;
+  mean_loo /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double e : estimates)
+    var += (e - mean_loo) * (e - mean_loo);
+  var *= static_cast<double>(n - 1) / static_cast<double>(n);
+
+  ErrorBar out;
+  out.mean = full;
+  out.sigma = std::sqrt(var);
+  out.tau = 1.0;  // blocks are assumed decorrelated
+  out.n = n;
+  out.n_blocks = n;
+  return out;
+}
+
+double z_score(double a, double b, double sigma) {
+  const double diff = std::abs(a - b);
+  if (diff == 0.0) return 0.0;
+  if (sigma <= 0.0) return kInf;
+  return diff / sigma;
+}
+
+std::uint64_t effective_test_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("DT_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(env, &end, 0);
+  DT_CHECK_MSG(end != nullptr && *end == '\0',
+               "DT_TEST_SEED is not an integer: " << env);
+  return parsed;
+}
+
+std::string seed_trace(std::uint64_t seed) {
+  return "statistical test seed: " + std::to_string(seed) +
+         " (reproduce with DT_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace dt::validate

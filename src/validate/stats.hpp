@@ -1,0 +1,156 @@
+// Statistical test kit for sampler validation.
+//
+// Sampler-vs-oracle comparisons must assert "within k sigma of the
+// reference at a stated confidence", not "within a hand-tuned epsilon";
+// otherwise a tolerance either hides real acceptance-ratio bugs or turns
+// every statistical fluctuation into a flaky test. This kit supplies the
+// calibrated pieces:
+//
+//   * chi-square and Kolmogorov-Smirnov goodness-of-fit tests with exact
+//     (incomplete-gamma / asymptotic-Kolmogorov) p-values,
+//   * autocorrelation-aware error bars: the integrated autocorrelation
+//     time shrinks the effective sample count, and blocked / jackknife
+//     resampling gives the variance of nonlinear functionals,
+//   * the k-sigma acceptance policy helpers shared by the oracle tests,
+//   * the DT_TEST_SEED override so any statistical failure is
+//     reproducible from its printed seed.
+//
+// All tests are one-sided on the p-value: H0 is "the sampler is correct";
+// a test fails when p < alpha (equivalently |z| > k). Discrete-support
+// KS p-values are conservative (the classical distribution assumes a
+// continuous CDF), which is the safe direction for an acceptance gate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mc/energy_grid.hpp"
+
+namespace dt::validate {
+
+// ---- special functions ---------------------------------------------------
+
+/// Regularized lower incomplete gamma P(a, x); a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P(X >= x) = Q(dof/2, x/2).
+double chi_square_sf(double x, double dof);
+
+/// Kolmogorov asymptotic survival function Q_KS(lambda) =
+/// 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2); Q_KS(0) = 1.
+double kolmogorov_sf(double lambda);
+
+/// Two-sided normal tail probability P(|Z| >= z).
+double normal_two_sided_sf(double z);
+
+// ---- goodness-of-fit tests ----------------------------------------------
+
+struct GofResult {
+  double statistic = 0.0;  ///< chi-square X^2 or KS D
+  double p_value = 1.0;
+  double dof = 0.0;        ///< chi-square dof / KS effective sample count
+  std::size_t n_cells = 0; ///< cells (bins/levels) that entered the test
+
+  [[nodiscard]] bool accept(double alpha = 1e-3) const {
+    return p_value >= alpha;
+  }
+};
+
+/// Chi-square test of `counts` against uniform expected occupancy -- the
+/// calibrated version of the Wang-Landau flatness criterion. `tau` is the
+/// integrated autocorrelation time of the visit series: correlated visits
+/// carry 1/(2 tau - 1) of an independent visit's information, so the
+/// statistic is scaled by that factor before the p-value. Cells with zero
+/// expected count cannot occur (uniform); requires >= 2 cells.
+GofResult chi_square_uniform(std::span<const std::uint64_t> counts,
+                             double tau = 1.0);
+
+/// Chi-square test of observed `counts` against arbitrary expected cell
+/// probabilities (need not be normalised; zero-probability cells must
+/// have zero counts or the test fails with p = 0). Cells whose expected
+/// count is below `min_expected` are pooled into their neighbour to keep
+/// the chi-square approximation valid.
+GofResult chi_square_expected(std::span<const std::uint64_t> counts,
+                              std::span<const double> probabilities,
+                              double tau = 1.0, double min_expected = 5.0);
+
+/// KS test of the observed discrete distribution (visit counts per
+/// ordered cell, e.g. energy-sorted levels) against expected cell
+/// probabilities. `tau` shrinks the effective sample count. Conservative
+/// on discrete support.
+GofResult ks_discrete(std::span<const std::uint64_t> counts,
+                      std::span<const double> probabilities,
+                      double tau = 1.0);
+
+/// Histogram adapter: chi-square flatness over grid bins [lo, hi]
+/// restricted to bins visited at least once (unreachable bins carry no
+/// flatness information, matching Histogram::is_flat's convention).
+GofResult chi_square_flatness(const mc::Histogram& histogram,
+                              std::int32_t lo, std::int32_t hi,
+                              double tau = 1.0);
+
+// ---- autocorrelation-aware error bars ------------------------------------
+
+struct ErrorBar {
+  double mean = 0.0;
+  double sigma = 0.0;       ///< standard error of the mean
+  double tau = 1.0;         ///< integrated autocorrelation time used
+  std::size_t n = 0;        ///< raw series length
+  std::size_t n_blocks = 0; ///< blocks after decorrelation
+
+  /// |mean - reference| expressed in sigmas (inf when sigma == 0 and the
+  /// values differ).
+  [[nodiscard]] double z_against(double reference) const;
+  [[nodiscard]] bool within(double reference, double k) const {
+    return z_against(reference) <= k;
+  }
+};
+
+/// Standard error of the series mean with blocking: block length is
+/// ~5 tau (Sokal window), the blocked means are treated as independent
+/// and their scatter gives sigma. Series shorter than 4 blocks fall back
+/// to the tau-inflated naive error sqrt(2 tau var / n).
+ErrorBar blocked_error(std::span<const double> series);
+
+/// Delete-one jackknife of an arbitrary functional over pre-decorrelated
+/// blocks: f is evaluated on all blocks and on each leave-one-out subset;
+/// the jackknife variance covers nonlinear functionals (Cv, ratios)
+/// where naive error propagation is biased. Requires >= 2 blocks.
+ErrorBar jackknife(std::span<const double> blocks,
+                   const std::function<double(std::span<const double>)>& f);
+
+/// Partition `series` into ceil(5 tau)-long blocks and return the block
+/// means (the natural input to jackknife()).
+std::vector<double> decorrelated_blocks(std::span<const double> series);
+
+// ---- k-sigma policy ------------------------------------------------------
+
+/// |a - b| / sigma, with the 0/0 convention z = 0 and x/0 = inf.
+double z_score(double a, double b, double sigma);
+
+/// The oracle tier's acceptance policy: agreement within k sigma.
+/// Default k = 5 bounds the per-comparison false-alarm rate at
+/// ~5.7e-7, so even a thousand comparisons per suite stay comfortably
+/// below a 1e-3 suite-level flake rate.
+inline constexpr double kDefaultKSigma = 5.0;
+
+// ---- reproducible test seeds ---------------------------------------------
+
+/// Effective RNG seed for statistical tests: the DT_TEST_SEED environment
+/// variable when set (decimal or 0x-hex), else `fallback`. Every
+/// statistical test derives its streams from this and prints it via
+/// seed_trace() so a flaky failure is reproducible with
+/// `DT_TEST_SEED=<seed> ctest -R <test>`.
+std::uint64_t effective_test_seed(std::uint64_t fallback);
+
+/// Message for SCOPED_TRACE so the seed shows up on any assertion failure.
+std::string seed_trace(std::uint64_t seed);
+
+}  // namespace dt::validate

@@ -3,7 +3,6 @@
 // framework pipeline works end to end with condition_on_energy.
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
 #include <map>
 
@@ -13,6 +12,7 @@
 #include "mc/metropolis.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/optimizer.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt {
 namespace {
@@ -125,18 +125,10 @@ TEST(ConditionalVaeProposal, DetailedBalanceWithFixedCondition) {
   const int n = lat.num_sites();
   const double temperature = 8.0;
 
-  std::map<long long, double> weight;
-  double z = 0;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    lattice::Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    const double w = std::exp(-e / temperature);
-    weight[std::llround(4 * e)] += w;
-    z += w;
-  }
+  // Exact Boltzmann level marginals from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(n, 2));
+  const auto probs = oracle->level_probabilities(temperature);
 
   auto vae = std::make_shared<nn::Vae>(cvae_opts(), 11);
   core::VaeProposal prop(ham, vae);
@@ -152,9 +144,12 @@ TEST(ConditionalVaeProposal, DetailedBalanceWithFixedCondition) {
     sampler.step(prop);
     counts[std::llround(4 * sampler.energy())] += 1.0;
   }
-  for (const auto& [k, w] : weight) {
-    EXPECT_NEAR((counts.count(k) ? counts[k] : 0.0) / steps, w / z, 0.015)
-        << "level " << k / 4.0;
+  const auto& levels = oracle->levels();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const long long k = std::llround(4 * levels[i].energy);
+    EXPECT_NEAR((counts.count(k) ? counts[k] : 0.0) / steps, probs[i],
+                0.015)
+        << "level " << levels[i].energy;
   }
 }
 

@@ -159,5 +159,47 @@ TEST(DosStitch, SingleFragmentPassesThrough) {
   EXPECT_EQ(joined.num_visited(), 1);
 }
 
+TEST(Dos, RejectsNonFiniteLnG) {
+  // Finite ln g is a class invariant: NaN/Inf in one fragment would
+  // silently poison every stitch/normalize/thermo downstream.
+  DensityOfStates dos(grid100());
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(dos.set(3, nan), dt::Error);
+  EXPECT_THROW(dos.set(3, inf), dt::Error);
+  EXPECT_THROW(dos.set(3, -inf), dt::Error);
+  EXPECT_THROW(dos.add(3, nan), dt::Error);
+  EXPECT_FALSE(dos.visited(3));  // the rejected write left no trace
+}
+
+TEST(Dos, LoadRejectsNonFiniteLnG) {
+  std::stringstream ss("0 100 100\n5 5.5 nan\n");
+  EXPECT_THROW((void)DensityOfStates::load(ss), dt::Error);
+  std::stringstream ss2("0 100 100\n5 5.5 inf\n");
+  EXPECT_THROW((void)DensityOfStates::load(ss2), dt::Error);
+}
+
+TEST(DosStitch, NonOverlappingWindowsThrow) {
+  // Window-shaped fragments with a one-bin gap between them: stitching
+  // must refuse, not invent an offset across the gap.
+  const EnergyGrid grid(0.0, 30.0, 30);
+  DensityOfStates lo(grid), hi(grid);
+  for (std::int32_t b = 0; b <= 13; ++b) lo.set(b, 0.1 * b);
+  for (std::int32_t b = 15; b <= 29; ++b) hi.set(b, 0.2 * b);
+  EXPECT_THROW((void)DensityOfStates::stitch({lo, hi}), dt::Error);
+}
+
+TEST(DosStitch, SingleBinOverlapUsesOffsetFallback) {
+  // Exactly one shared visited bin: no adjacent pair for slope matching,
+  // so the least-squares offset fallback must carry the stitch.
+  const EnergyGrid grid(0.0, 20.0, 20);
+  DensityOfStates lo(grid), hi(grid);
+  for (std::int32_t b = 0; b <= 10; ++b) lo.set(b, 1.0 * b);
+  for (std::int32_t b = 10; b <= 19; ++b) hi.set(b, 1.0 * b + 7.0);
+  const auto joined = DensityOfStates::stitch({lo, hi});
+  for (std::int32_t b = 1; b < 20; ++b)
+    EXPECT_NEAR(joined.log_g(b) - joined.log_g(b - 1), 1.0, 1e-9) << b;
+}
+
 }  // namespace
 }  // namespace dt::mc

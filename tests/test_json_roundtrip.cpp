@@ -1,0 +1,229 @@
+// Round-trip property tests for the JSON parser/emitter and the config
+// store. Run under the ASan/UBSan gate (scripts/check.sh): "malformed
+// input produces dt::Error, never UB" is the property being enforced.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "validate/stats.hpp"
+
+namespace dt {
+namespace {
+
+using validate::effective_test_seed;
+using validate::seed_trace;
+
+// ---- random-document generator -------------------------------------------
+
+std::string random_string(Philox4x32& rng) {
+  static const std::string_view alphabet =
+      "abcXYZ019 _-/\\\"\n\r\t\b\f\x01\x1f\xc3\xa9";  // incl. controls, UTF-8
+  std::string out;
+  const auto len = uniform_index(rng, 12);
+  for (std::size_t i = 0; i < len; ++i)
+    out += alphabet[uniform_index(rng, alphabet.size())];
+  return out;
+}
+
+double random_number(Philox4x32& rng) {
+  switch (uniform_index(rng, 4)) {
+    case 0:
+      return static_cast<double>(uniform_index(rng, 2000)) - 1000.0;
+    case 1:
+      return (uniform01(rng) - 0.5) * 1e-8;
+    case 2:
+      return (uniform01(rng) - 0.5) * 1e17;
+    default:
+      return uniform01(rng);
+  }
+}
+
+JsonValue random_value(Philox4x32& rng, int depth) {
+  const std::size_t kind =
+      depth >= 4 ? uniform_index(rng, 4) : uniform_index(rng, 6);
+  switch (kind) {
+    case 0:
+      return JsonValue();
+    case 1:
+      return JsonValue(uniform01(rng) < 0.5);
+    case 2:
+      return JsonValue(random_number(rng));
+    case 3:
+      return JsonValue(random_string(rng));
+    case 4: {
+      JsonValue::Array items;
+      const auto n = uniform_index(rng, 5);
+      for (std::size_t i = 0; i < n; ++i)
+        items.push_back(random_value(rng, depth + 1));
+      return JsonValue::make_array(std::move(items));
+    }
+    default: {
+      JsonValue::Object members;
+      const auto n = uniform_index(rng, 5);
+      for (std::size_t i = 0; i < n; ++i)
+        members.emplace_back(random_string(rng),
+                             random_value(rng, depth + 1));
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+}
+
+TEST(JsonRoundTrip, RandomDocumentsRoundTripBitIdentically) {
+  const std::uint64_t seed = effective_test_seed(4242);
+  SCOPED_TRACE(seed_trace(seed));
+  Philox4x32 rng(seed, 0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const JsonValue doc = random_value(rng, 0);
+    const std::string once = doc.dump();
+    const JsonValue reparsed = JsonValue::parse(once);
+    EXPECT_EQ(reparsed, doc) << once;
+    EXPECT_EQ(reparsed.dump(), once) << "trial " << trial;
+  }
+}
+
+TEST(JsonRoundTrip, WhitespaceAndEscapesNormalise) {
+  const auto v = JsonValue::parse(
+      " { \"a\" : [ 1 , 2.5 , -3e2 ] ,\n \"b\\u0041\" : \"x\\n\" , "
+      "\"c\" : { } , \"d\" : null } ");
+  EXPECT_EQ(v.dump(),
+            "{\"a\":[1,2.5,-300],\"bA\":\"x\\n\",\"c\":{},\"d\":null}");
+}
+
+TEST(JsonRoundTrip, SurrogatePairsDecodeToUtf8) {
+  const auto v = JsonValue::parse("\"\\ud83d\\ude00\"");  // U+1F600
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80");
+  // And the round trip is stable.
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(JsonRoundTrip, AccessorsAndFind) {
+  const auto v = JsonValue::parse(
+      "{\"n\":3,\"s\":\"hi\",\"f\":false,\"arr\":[null],\"n\":4}");
+  ASSERT_NE(v.find("n"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number(), 3.0);  // first wins in find()
+  EXPECT_EQ(v.find("s")->as_string(), "hi");
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_TRUE(v.find("arr")->as_array()[0].is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.as_object().size(), 5u);  // duplicates preserved for dump()
+  EXPECT_THROW(v.as_array(), dt::Error);
+  EXPECT_THROW(v.find("s")->as_number(), dt::Error);
+}
+
+TEST(JsonRoundTrip, MalformedInputsThrow) {
+  const std::vector<std::string> bad = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[1,2",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "tru",
+      "nul",
+      "+1",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "--1",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"ctrl \x01 char\"",
+      "\"\\u12g4\"",
+      "\"\\ud800\"",          // unpaired high surrogate
+      "\"\\udc00\"",          // unpaired low surrogate
+      "\"\\ud800\\u0041\"",   // high surrogate + non-surrogate
+      "1e999",                // overflows double
+      "[1] trailing",
+      "NaN",
+      "Infinity",
+      std::string(100, '['),  // nesting bomb
+  };
+  for (const auto& text : bad)
+    EXPECT_THROW(JsonValue::parse(text), dt::Error) << text;
+}
+
+TEST(JsonRoundTrip, MutationFuzzNeverCrashes) {
+  // Mutate bytes of a valid document: every outcome must be a clean
+  // parse or a dt::Error (ASan/UBSan verify "no UB" in check.sh).
+  const std::uint64_t seed = effective_test_seed(4243);
+  SCOPED_TRACE(seed_trace(seed));
+  Philox4x32 rng(seed, 1);
+  const std::string base =
+      "{\"a\":[1,2.5,-3e2,true,null],\"b\":\"x\\u00e9\",\"c\":{\"d\":[[]]}}";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string doc = base;
+    const auto n_mutations = 1 + uniform_index(rng, 3);
+    for (std::size_t m = 0; m < n_mutations; ++m)
+      doc[uniform_index(rng, doc.size())] =
+          static_cast<char>(uniform_index(rng, 256));
+    try {
+      const auto v = JsonValue::parse(doc);
+      (void)v.dump();
+    } catch (const dt::Error&) {
+      // expected for most mutations
+    }
+  }
+}
+
+// ---- config round trips ---------------------------------------------------
+
+std::string config_text(const Config& cfg) {
+  std::string out;
+  for (const auto& [k, v] : cfg.items()) out += k + " = " + v + "\n";
+  return out;
+}
+
+TEST(ConfigRoundTrip, RandomConfigsSurviveEmitParse) {
+  const std::uint64_t seed = effective_test_seed(4244);
+  SCOPED_TRACE(seed_trace(seed));
+  Philox4x32 rng(seed, 2);
+  static const std::string_view key_chars =
+      "abcdefghijklmnopqrstuvwxyz_.-0123456789";
+  static const std::string_view val_chars =
+      "abcXYZ 019_-./:+=!?[]{}";  // no '#', no newline: the text format's
+                                  // comment/line structure is the limit
+  for (int trial = 0; trial < 200; ++trial) {
+    Config cfg;
+    const auto n = 1 + uniform_index(rng, 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key;
+      const auto klen = 1 + uniform_index(rng, 10);
+      for (std::size_t j = 0; j < klen; ++j)
+        key += key_chars[uniform_index(rng, key_chars.size())];
+      std::string value;
+      const auto vlen = 1 + uniform_index(rng, 14);
+      for (std::size_t j = 0; j < vlen; ++j)
+        value += val_chars[uniform_index(rng, val_chars.size())];
+      // The "key = value" format trims surrounding whitespace.
+      if (value.front() == ' ') value.front() = 'x';
+      if (value.back() == ' ') value.back() = 'x';
+      cfg.set(key, value);
+    }
+    const std::string text = config_text(cfg);
+    const Config back = Config::from_text(text);
+    EXPECT_EQ(back.items(), cfg.items()) << text;
+    // Emit -> parse -> emit is a fixed point.
+    EXPECT_EQ(config_text(back), text);
+  }
+}
+
+TEST(ConfigRoundTrip, CommentsAndBlanksAreStructural) {
+  const auto cfg = Config::from_text(
+      "# header\n\n a = 1 \nb = two # not a comment?\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_TRUE(cfg.has("b"));
+}
+
+}  // namespace
+}  // namespace dt

@@ -2,15 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
@@ -64,21 +63,14 @@ TEST(Metropolis, LowTemperatureQuenchesTowardsOrder) {
 TEST(Metropolis, MeanEnergyMatchesExactEnumeration) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const int n = lat.num_sites();
   const double temperature = 12.0;
 
-  double z = 0.0, mean_exact = 0.0;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    const double w = std::exp(-e / temperature);
-    z += w;
-    mean_exact += e * w;
-  }
-  mean_exact /= z;
+  // Exact canonical <E> from the shared enumeration oracle.
+  const double mean_exact =
+      validate::ExactOracle::get(
+          ham, lat, validate::equiatomic_composition(lat.num_sites(), 2))
+          ->thermo(temperature)
+          .internal_energy;
 
   Rng rng(5, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);

@@ -4,11 +4,11 @@
 
 #include "common/error.hpp"
 
-#include <bit>
 #include <cmath>
 #include <map>
 
 #include "mc/metropolis.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::core {
 namespace {
@@ -105,18 +105,10 @@ TEST(DeepThermoKernel, MixedKernelSamplesBoltzmann) {
   const int n = lat.num_sites();
   const double temperature = 8.0;
 
-  std::map<long long, double> weight;
-  double z = 0;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration c(lat, 2);
-    for (int i = 0; i < n; ++i)
-      c.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(c);
-    const double w = std::exp(-e / temperature);
-    weight[std::llround(4 * e)] += w;
-    z += w;
-  }
+  // Exact Boltzmann level marginals from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(n, 2));
+  const auto probs = oracle->level_probabilities(temperature);
 
   DeepThermoProposal kernel(ham, make_vae(n, 2, 7), 0.3);
   mc::Rng rng(8, 0);
@@ -130,9 +122,12 @@ TEST(DeepThermoKernel, MixedKernelSamplesBoltzmann) {
     sampler.step(kernel);
     counts[std::llround(4 * sampler.energy())] += 1.0;
   }
-  for (const auto& [k, w] : weight) {
-    EXPECT_NEAR((counts.count(k) ? counts[k] : 0.0) / steps, w / z, 0.012)
-        << "level " << k / 4.0;
+  const auto& levels = oracle->levels();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const long long k = std::llround(4 * levels[i].energy);
+    EXPECT_NEAR((counts.count(k) ? counts[k] : 0.0) / steps, probs[i],
+                0.012)
+        << "level " << levels[i].energy;
   }
 }
 

@@ -2,16 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
-#include <map>
 
 #include "common/error.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
@@ -19,20 +17,11 @@ struct IsingExact {
   Lattice lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   lattice::EpiHamiltonian ham = lattice::epi_ising(1.0);
   EnergyGrid grid{-0.5, 64.5, 131};
-  DensityOfStates exact_dos{grid};
-
-  IsingExact() {
-    const int n = lat.num_sites();
-    std::map<std::int32_t, double> counts;
-    for (unsigned mask = 0; mask < (1u << n); ++mask) {
-      if (std::popcount(mask) != n / 2) continue;
-      Configuration cfg(lat, 2);
-      for (int i = 0; i < n; ++i)
-        cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-      counts[grid.bin(ham.total_energy(cfg))] += 1.0;
-    }
-    for (const auto& [bin, c] : counts) exact_dos.set(bin, std::log(c));
-  }
+  // Exact ln g projected onto the grid by the shared enumeration oracle.
+  DensityOfStates exact_dos =
+      validate::ExactOracle::get(
+          ham, lat, validate::equiatomic_composition(lat.num_sites(), 2))
+          ->to_dos(grid);
 };
 
 const IsingExact& sys() {

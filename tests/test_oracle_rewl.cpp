@@ -1,0 +1,200 @@
+// Oracle-tier end-to-end acceptance tests: the REWL pipeline and the
+// canonical Metropolis sampler against the exact-enumeration oracle,
+// with acceptance stated in the statistical kit's k-sigma / p-value
+// language instead of hand-tuned epsilons.
+//
+// Seeds derive from DT_TEST_SEED (see validate/stats.hpp); failures
+// print the effective seed for reproduction.
+#include "validate/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/math.hpp"
+#include "lattice/sro.hpp"
+#include "mc/metropolis.hpp"
+#include "mc/thermo.hpp"
+#include "par/rewl.hpp"
+#include "validate/stats.hpp"
+
+namespace dt::validate {
+namespace {
+
+using lattice::Lattice;
+using lattice::LatticeType;
+
+std::shared_ptr<const ExactOracle> bcc222_oracle(bool with_sro = false) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  OracleOptions opts;
+  opts.with_sro = with_sro;
+  return ExactOracle::get(ham, lat, equiatomic_composition(lat.num_sites(), 2),
+                          opts);
+}
+
+mc::DensityOfStates run_rewl_once(const mc::EnergyGrid& grid,
+                                  double log_total, std::uint64_t seed) {
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  par::RewlOptions opts;
+  opts.n_windows = 2;
+  opts.walkers_per_window = 1;
+  opts.wl.log_f_final = 1e-4;
+  opts.max_sweeps = 200000;
+  opts.seed = seed;
+  const auto result = par::run_rewl(
+      ham, lat, 2, grid, opts,
+      [&](int) { return std::make_shared<mc::LocalSwapProposal>(ham); });
+  EXPECT_TRUE(result.converged);
+  auto dos = result.dos;
+  dos.normalize(log_total);
+  return dos;
+}
+
+// THE tentpole assertion: REWL ln g on an enumerable lattice matches the
+// exact oracle within its own run-to-run statistical error. Two
+// independent replicas estimate the per-level sigma (pooled across
+// levels -- a two-sample per-level estimate would itself be noise), and
+// every level of the replica mean must sit within k sigma of exact.
+TEST(OracleRewl, LnGMatchesExactOracleWithinSigma) {
+  const std::uint64_t seed = effective_test_seed(20260808);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto oracle = bcc222_oracle();
+
+  const mc::EnergyGrid grid(oracle->e_min() - 0.5, oracle->e_max() + 0.5,
+                            140);
+  const auto run_a = run_rewl_once(grid, oracle->log_total_states(), seed);
+  const auto run_b =
+      run_rewl_once(grid, oracle->log_total_states(), seed ^ 0x9e3779b9ULL);
+
+  // Pooled replica sigma: Var(single run) ~ mean of d^2 / 2.
+  double d2 = 0.0;
+  std::size_t n_levels = 0;
+  for (const auto& level : oracle->levels()) {
+    const std::int32_t bin = grid.bin(level.energy);
+    ASSERT_TRUE(run_a.visited(bin)) << "level E=" << level.energy;
+    ASSERT_TRUE(run_b.visited(bin)) << "level E=" << level.energy;
+    const double d = run_a.log_g(bin) - run_b.log_g(bin);
+    d2 += d * d;
+    ++n_levels;
+  }
+  const double sigma_run =
+      std::sqrt(d2 / (2.0 * static_cast<double>(n_levels)));
+  // Mean of two replicas, with a floor so a fluke pair of near-identical
+  // runs cannot turn the test into an exact-equality assertion.
+  const double sigma_mean = std::max(sigma_run / std::sqrt(2.0), 0.02);
+
+  double worst_z = 0.0;
+  for (const auto& level : oracle->levels()) {
+    const std::int32_t bin = grid.bin(level.energy);
+    const double mean = 0.5 * (run_a.log_g(bin) + run_b.log_g(bin));
+    worst_z = std::max(
+        worst_z, z_score(mean, std::log(level.count), sigma_mean));
+  }
+  // Max over ~30 levels plus WL saturation bias: k = 6.
+  EXPECT_LE(worst_z, 6.0) << "sigma_run=" << sigma_run;
+
+  // Downstream thermodynamics inherit the agreement: U(T) and Cv(T)
+  // reweighted from the REWL DOS match the oracle projected onto the
+  // SAME grid (projection isolates the sampler error -- the bin-centre
+  // discretisation offset is identical on both sides and cancels;
+  // against the continuum level-sum reference it would be a common-mode
+  // bias the replica sigma cannot see).
+  const auto exact_dos = oracle->to_dos(grid);
+  for (const double t : {1.0, 2.0, 4.0, 8.0}) {
+    const auto exact = mc::evaluate_thermo(exact_dos, t);
+    const auto ta = mc::evaluate_thermo(run_a, t);
+    const auto tb = mc::evaluate_thermo(run_b, t);
+    const double u_mean = 0.5 * (ta.internal_energy + tb.internal_energy);
+    const double u_sigma = std::max(
+        std::abs(ta.internal_energy - tb.internal_energy) / 2.0, 0.02);
+    EXPECT_LE(z_score(u_mean, exact.internal_energy, u_sigma), 6.0)
+        << "U at T=" << t;
+    const double cv_mean = 0.5 * (ta.specific_heat + tb.specific_heat);
+    const double cv_sigma = std::max(
+        std::abs(ta.specific_heat - tb.specific_heat) / 2.0, 0.05);
+    EXPECT_LE(z_score(cv_mean, exact.specific_heat, cv_sigma), 6.0)
+        << "Cv at T=" << t;
+  }
+}
+
+// The fixed-T sampler visits energy levels with exact Boltzmann
+// probabilities; chi-square and KS accept at alpha = 1e-3 with the
+// autocorrelation-deflated statistics.
+TEST(OracleRewl, MetropolisVisitedEnergiesMatchBoltzmann) {
+  const std::uint64_t seed = effective_test_seed(20260808);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto oracle = bcc222_oracle();
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const double temperature = 4.0;
+
+  // Level index by quantised energy key.
+  std::map<long long, std::size_t> level_of;
+  for (std::size_t i = 0; i < oracle->levels().size(); ++i)
+    level_of[std::llround(oracle->levels()[i].energy * (1 << 20))] = i;
+
+  mc::Rng rng(seed, 0);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(seed, 1));
+  mc::LocalSwapProposal prop(ham);
+  sampler.run(prop, 2000);  // burn-in
+
+  const std::int64_t n_sweeps = 40000;
+  std::vector<std::uint64_t> counts(oracle->levels().size(), 0);
+  std::vector<double> level_series;
+  level_series.reserve(static_cast<std::size_t>(n_sweeps));
+  sampler.run(prop, n_sweeps, [&](std::int64_t) {
+    const auto it =
+        level_of.find(std::llround(sampler.energy() * (1 << 20)));
+    ASSERT_NE(it, level_of.end()) << "energy " << sampler.energy()
+                                  << " is not an exact level";
+    ++counts[it->second];
+    level_series.push_back(static_cast<double>(it->second));
+  });
+
+  const double tau = integrated_autocorrelation_time(level_series);
+  const auto probs = oracle->level_probabilities(temperature);
+  const auto chi2 = chi_square_expected(counts, probs, tau);
+  EXPECT_TRUE(chi2.accept()) << "chi2 p=" << chi2.p_value
+                             << " X2=" << chi2.statistic
+                             << " dof=" << chi2.dof << " tau=" << tau;
+  const auto ks = ks_discrete(counts, probs, tau);
+  EXPECT_TRUE(ks.accept()) << "KS p=" << ks.p_value << " D=" << ks.statistic;
+}
+
+// Exact canonical <SRO>(T) from the oracle vs direct sampling with
+// blocked (autocorrelation-aware) error bars.
+TEST(OracleRewl, SroMatchesExactCanonicalAverage) {
+  const std::uint64_t seed = effective_test_seed(20260808);
+  SCOPED_TRACE(seed_trace(seed));
+  const auto oracle = bcc222_oracle(/*with_sro=*/true);
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::epi_ising(1.0);
+  const double temperature = 3.0;
+
+  mc::Rng rng(seed, 2);
+  auto cfg = lattice::random_configuration(lat, 2, rng);
+  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(seed, 3));
+  mc::LocalSwapProposal prop(ham);
+  sampler.run(prop, 2000);  // burn-in
+
+  std::vector<double> series;
+  series.reserve(30000);
+  sampler.run(prop, 30000, [&](std::int64_t) {
+    series.push_back(lattice::sro_magnitude(sampler.configuration(), 0));
+  });
+
+  const auto bar = blocked_error(series);
+  const double exact = oracle->mean_sro(temperature);
+  EXPECT_TRUE(bar.within(exact, 6.0))
+      << "sampled " << bar.mean << " +- " << bar.sigma << " (tau="
+      << bar.tau << "), exact " << exact << ", z=" << bar.z_against(exact);
+}
+
+}  // namespace
+}  // namespace dt::validate

@@ -2,16 +2,15 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
 #include <map>
 
 #include "common/error.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
@@ -101,7 +100,6 @@ TEST(ParallelTempering, ColdReplicaOrdersHotReplicaDisorders) {
 TEST(ParallelTempering, MatchesExactBoltzmannAtAllTemperatures) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const int n = lat.num_sites();
 
   ParallelTemperingOptions opts;
   opts.temperatures = {6.0, 12.0, 24.0};
@@ -109,21 +107,10 @@ TEST(ParallelTempering, MatchesExactBoltzmannAtAllTemperatures) {
   opts.seed = 11;
   ParallelTempering pt(ham, lat, 2, opts);
 
-  // Exact energy distributions per temperature.
-  std::vector<std::map<long long, double>> exact(3);
-  std::vector<double> z(3, 0.0);
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    for (std::size_t k = 0; k < 3; ++k) {
-      const double w = std::exp(-e / opts.temperatures[k]);
-      exact[k][std::llround(4 * e)] += w;
-      z[k] += w;
-    }
-  }
+  // Exact Boltzmann level marginals from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(lat.num_sites(), 2));
+  const auto& levels = oracle->levels();
 
   pt.run(200);  // burn-in
   std::vector<std::map<long long, double>> counts(3);
@@ -135,12 +122,13 @@ TEST(ParallelTempering, MatchesExactBoltzmannAtAllTemperatures) {
   });
 
   for (std::size_t k = 0; k < 3; ++k) {
-    for (const auto& [level, w] : exact[k]) {
-      const double expect = w / z[k];
+    const auto probs = oracle->level_probabilities(opts.temperatures[k]);
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const long long key = std::llround(4 * levels[i].energy);
       const double got =
-          (counts[k].count(level) ? counts[k][level] : 0.0) / totals[k];
-      EXPECT_NEAR(got, expect, 0.02)
-          << "T=" << opts.temperatures[k] << " level " << level / 4.0;
+          (counts[k].count(key) ? counts[k][key] : 0.0) / totals[k];
+      EXPECT_NEAR(got, probs[i], 0.02)
+          << "T=" << opts.temperatures[k] << " level " << levels[i].energy;
     }
   }
 }

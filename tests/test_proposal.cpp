@@ -2,11 +2,11 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
 #include <map>
 
 #include "mc/metropolis.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
@@ -186,22 +186,12 @@ class KernelBoltzmann : public ::testing::TestWithParam<int> {};
 TEST_P(KernelBoltzmann, EmpiricalEnergyDistributionMatchesExact) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const int n = lat.num_sites();
   const double temperature = 10.0;
 
-  // Exact Boltzmann energy distribution.
-  std::map<long long, double> weight;
-  double z = 0.0;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    const double w = std::exp(-e / temperature);
-    weight[std::llround(4 * e)] += w;
-    z += w;
-  }
+  // Exact Boltzmann level marginals from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(lat.num_sites(), 2));
+  const auto probs = oracle->level_probabilities(temperature);
 
   Rng rng(100 + static_cast<std::uint64_t>(GetParam()), 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
@@ -221,10 +211,12 @@ TEST_P(KernelBoltzmann, EmpiricalEnergyDistributionMatchesExact) {
     counts[std::llround(4 * sampler.energy())] += 1.0;
   }
 
-  for (const auto& [k, w] : weight) {
-    const double expect = w / z;
+  const auto& levels = oracle->levels();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const long long k = std::llround(4 * levels[i].energy);
     const double got = (counts.count(k) ? counts[k] : 0.0) / steps;
-    EXPECT_NEAR(got, expect, 0.012) << "energy level " << k / 4.0;
+    EXPECT_NEAR(got, probs[i], 0.012)
+        << "energy level " << levels[i].energy;
   }
 }
 

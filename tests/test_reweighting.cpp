@@ -2,18 +2,16 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
-#include <map>
 
 #include "common/error.hpp"
 #include "mc/parallel_tempering.hpp"
 #include "mc/thermo.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
@@ -98,24 +96,12 @@ TEST(Wham, CombinesTwoSyntheticHistogramsConsistently) {
 TEST(Wham, PtPlusWhamMatchesExactDos) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const int n = lat.num_sites();
 
-  std::map<long long, double> exact;
-  double e_min = 1e300, e_max = -1e300;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    exact[std::llround(4 * e)] += 1.0;
-    e_min = std::min(e_min, e);
-    e_max = std::max(e_max, e);
-  }
-  double total = 0;
-  for (auto& [k, c] : exact) total += c;
+  // Exact reference from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(lat.num_sites(), 2));
 
-  const EnergyGrid grid(e_min - 0.5, e_max + 0.5, 131);
+  const EnergyGrid grid(oracle->e_min() - 0.5, oracle->e_max() + 0.5, 131);
   ParallelTemperingOptions opts;
   opts.temperatures = geometric_ladder(1.5, 120.0, 8);
   opts.exchange_interval = 5;
@@ -132,16 +118,16 @@ TEST(Wham, PtPlusWhamMatchesExactDos) {
 
   auto result = wham(grid, hs, opts.temperatures);
   ASSERT_TRUE(result.converged);
-  result.dos.normalize(std::log(total));
+  result.dos.normalize(oracle->log_total_states());
 
-  for (const auto& [k, count] : exact) {
-    const auto bin = grid.bin(k / 4.0);
-    ASSERT_TRUE(result.dos.visited(bin)) << "level " << k / 4.0;
+  for (const auto& level : oracle->levels()) {
+    const auto bin = grid.bin(level.energy);
+    ASSERT_TRUE(result.dos.visited(bin)) << "level " << level.energy;
     // Rare levels (the 2-state extreme) are visited only a handful of
     // times even by the hottest replica; Poisson noise dominates there.
-    const double tol = count < 10 ? 1.5 : 0.35;
-    EXPECT_NEAR(result.dos.log_g(bin), std::log(count), tol)
-        << "level " << k / 4.0;
+    const double tol = level.count < 10 ? 1.5 : 0.35;
+    EXPECT_NEAR(result.dos.log_g(bin), std::log(level.count), tol)
+        << "level " << level.energy;
   }
 
   // Thermodynamics from the WHAM DOS behave.
@@ -150,6 +136,16 @@ TEST(Wham, PtPlusWhamMatchesExactDos) {
     EXPECT_GE(point.specific_heat, 0.0);
     EXPECT_TRUE(std::isfinite(point.internal_energy));
   }
+}
+
+TEST(Wham, EmptyEnergyWindowRejected) {
+  // A run whose histograms never recorded anything inside the analysis
+  // window must fail loudly: WHAM has no data to anchor that ensemble's
+  // log Z, and proceeding would divide by a zero total count.
+  const EnergyGrid grid(0.0, 10.0, 10);
+  Histogram filled(grid), empty(grid);
+  for (std::int32_t b = 0; b < 10; ++b) filled.record(b);
+  EXPECT_THROW((void)wham(grid, {filled, empty}, {1.0, 2.0}), dt::Error);
 }
 
 TEST(Wham, LogZOrderingIsPhysical) {

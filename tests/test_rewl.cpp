@@ -2,38 +2,32 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
-#include <map>
+#include <vector>
 
 #include "mc/proposal.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::par {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
+// Exact reference from the shared enumeration oracle (validate/).
 struct ExactIsing {
   Lattice lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   lattice::EpiHamiltonian ham = lattice::epi_ising(1.0);
-  std::map<long long, double> levels;
-  double e_min = 1e300, e_max = -1e300, total = 0;
+  std::vector<validate::ExactLevel> levels;
+  double e_min = 0, e_max = 0, log_total = 0;
 
   ExactIsing() {
-    const int n = lat.num_sites();
-    for (unsigned mask = 0; mask < (1u << n); ++mask) {
-      if (std::popcount(mask) != n / 2) continue;
-      Configuration cfg(lat, 2);
-      for (int i = 0; i < n; ++i)
-        cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-      const double e = ham.total_energy(cfg);
-      levels[std::llround(4 * e)] += 1.0;
-      e_min = std::min(e_min, e);
-      e_max = std::max(e_max, e);
-      total += 1.0;
-    }
+    const auto oracle = validate::ExactOracle::get(
+        ham, lat, validate::equiatomic_composition(lat.num_sites(), 2));
+    levels = oracle->levels();
+    e_min = oracle->e_min();
+    e_max = oracle->e_max();
+    log_total = oracle->log_total_states();
   }
 };
 
@@ -65,11 +59,12 @@ TEST(Rewl, RecoversExactDos) {
   ASSERT_TRUE(result.converged);
 
   auto dos = result.dos;
-  dos.normalize(std::log(ex.total));
-  for (const auto& [k, count] : ex.levels) {
-    const std::int32_t bin = grid.bin(k / 4.0);
-    ASSERT_TRUE(dos.visited(bin)) << "level " << k / 4.0;
-    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.3) << "level " << k / 4.0;
+  dos.normalize(ex.log_total);
+  for (const auto& level : ex.levels) {
+    const std::int32_t bin = grid.bin(level.energy);
+    ASSERT_TRUE(dos.visited(bin)) << "level " << level.energy;
+    EXPECT_NEAR(dos.log_g(bin), std::log(level.count), 0.3)
+        << "level " << level.energy;
   }
 }
 
@@ -84,10 +79,10 @@ TEST(Rewl, MultipleWalkersPerWindow) {
   ASSERT_TRUE(result.converged);
 
   auto dos = result.dos;
-  dos.normalize(std::log(ex.total));
-  for (const auto& [k, count] : ex.levels) {
-    const std::int32_t bin = grid.bin(k / 4.0);
-    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.4);
+  dos.normalize(ex.log_total);
+  for (const auto& level : ex.levels) {
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+                0.4);
   }
 }
 
@@ -102,9 +97,10 @@ TEST(Rewl, ThreeWindowsConverge) {
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.windows.size(), 3u);
   auto dos = result.dos;
-  dos.normalize(std::log(ex.total));
-  for (const auto& [k, count] : ex.levels) {
-    EXPECT_NEAR(dos.log_g(grid.bin(k / 4.0)), std::log(count), 0.5);
+  dos.normalize(ex.log_total);
+  for (const auto& level : ex.levels) {
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+                0.5);
   }
 }
 
@@ -172,9 +168,10 @@ TEST(Rewl, MatchesSingleWindowWangLandau) {
       run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
   ASSERT_TRUE(result.converged);
   auto dos = result.dos;
-  dos.normalize(std::log(ex.total));
-  for (const auto& [k, count] : ex.levels)
-    EXPECT_NEAR(dos.log_g(grid.bin(k / 4.0)), std::log(count), 0.3);
+  dos.normalize(ex.log_total);
+  for (const auto& level : ex.levels)
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+                0.3);
 }
 
 TEST(Rewl, RespectsMaxSweepsWhenUnconverged) {

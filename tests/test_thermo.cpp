@@ -126,5 +126,25 @@ TEST(Thermo, EmptyDosThrows) {
   EXPECT_THROW((void)evaluate_thermo(dos, 1.0), dt::Error);
 }
 
+TEST(Thermo, SingleBinDosIsDeltaDistribution) {
+  // Degenerate but legal DOS: one visited bin. U must equal the bin
+  // energy at every T, fluctuations (Cv) must vanish identically, and
+  // S must equal the microcanonical ln g -- with no 0/0 or catastrophic
+  // cancellation sneaking through the log-domain accumulators.
+  const EnergyGrid grid(0.0, 10.0, 10);
+  DensityOfStates dos(grid);
+  const std::int32_t b = 7;
+  const double log_g = 42.0;
+  dos.set(b, log_g);
+  for (double t : {0.01, 1.0, 1e6}) {
+    const ThermoPoint pt = evaluate_thermo(dos, t);
+    EXPECT_DOUBLE_EQ(pt.internal_energy, grid.energy(b)) << "T=" << t;
+    EXPECT_NEAR(pt.specific_heat, 0.0, 1e-9) << "T=" << t;
+    EXPECT_NEAR(pt.entropy, log_g, 1e-9) << "T=" << t;
+    EXPECT_NEAR(pt.free_energy, grid.energy(b) - t * log_g,
+                1e-6 * std::max(1.0, t)) << "T=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace dt::mc

@@ -5,12 +5,12 @@
 #include "common/error.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <map>
 #include <sstream>
 
 #include "mc/metropolis.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::core {
 namespace {
@@ -145,18 +145,10 @@ TEST(VaeProposal, SatisfiesDetailedBalanceEmpirically) {
   const int n = lat.num_sites();
   const double temperature = 8.0;
 
-  std::map<long long, double> weight;
-  double z = 0;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    const double w = std::exp(-e / temperature);
-    weight[std::llround(4 * e)] += w;
-    z += w;
-  }
+  // Exact Boltzmann level marginals from the shared enumeration oracle.
+  const auto oracle = validate::ExactOracle::get(
+      ham, lat, validate::equiatomic_composition(n, 2));
+  const auto probs = oracle->level_probabilities(temperature);
 
   auto vae = make_vae(n, 2, 123);
   VaeProposal prop(ham, vae);
@@ -173,10 +165,11 @@ TEST(VaeProposal, SatisfiesDetailedBalanceEmpirically) {
   }
   EXPECT_NEAR(sampler.energy(), sampler.recompute_energy(), 1e-7);
 
-  for (const auto& [k, w] : weight) {
-    const double expect = w / z;
+  const auto& levels = oracle->levels();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const long long k = std::llround(4 * levels[i].energy);
     const double got = (counts.count(k) ? counts[k] : 0.0) / steps;
-    EXPECT_NEAR(got, expect, 0.012) << "level " << k / 4.0;
+    EXPECT_NEAR(got, probs[i], 0.012) << "level " << levels[i].energy;
   }
   // An independence-style global kernel on a tiny system accepts often.
   EXPECT_GT(prop.stats().acceptance_rate(), 0.05);

@@ -1,0 +1,265 @@
+#include "validate/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dt::validate {
+namespace {
+
+TEST(SpecialFunctions, IncompleteGammaMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (const double x : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0})
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << x;
+}
+
+TEST(SpecialFunctions, IncompleteGammaComplementarity) {
+  for (const double a : {0.5, 1.0, 3.5, 10.0, 50.0})
+    for (const double x : {0.1, 1.0, 5.0, 40.0, 120.0})
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+}
+
+TEST(SpecialFunctions, ChiSquareKnownValues) {
+  // Exact for dof = 2: SF(x) = exp(-x/2).
+  EXPECT_NEAR(chi_square_sf(4.0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 5.0), 1.0);
+  // Median of chi-square(1) is ~0.4549.
+  EXPECT_NEAR(chi_square_sf(0.4549364, 1.0), 0.5, 1e-6);
+  // Monotone decreasing in x.
+  EXPECT_GT(chi_square_sf(1.0, 4.0), chi_square_sf(10.0, 4.0));
+}
+
+TEST(SpecialFunctions, KolmogorovKnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  // Classical table values of Q_KS.
+  EXPECT_NEAR(kolmogorov_sf(1.0), 0.270000, 1e-4);
+  EXPECT_NEAR(kolmogorov_sf(1.36), 0.049, 5e-4);
+  EXPECT_LT(kolmogorov_sf(3.0), 1e-7);
+}
+
+TEST(SpecialFunctions, NormalTwoSided) {
+  EXPECT_NEAR(normal_two_sided_sf(1.959964), 0.05, 1e-5);
+  EXPECT_NEAR(normal_two_sided_sf(0.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquareUniform, AcceptsFlatCounts) {
+  const std::vector<std::uint64_t> counts(20, 1000);
+  const auto r = chi_square_uniform(counts);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_TRUE(r.accept());
+  EXPECT_EQ(r.n_cells, 20u);
+  EXPECT_DOUBLE_EQ(r.dof, 19.0);
+}
+
+TEST(ChiSquareUniform, RejectsSkewedCounts) {
+  std::vector<std::uint64_t> counts(10, 1000);
+  counts[0] = 2000;  // one cell doubled: X^2 >> dof
+  const auto r = chi_square_uniform(counts);
+  EXPECT_FALSE(r.accept());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareUniform, TauDeflatesSignificance) {
+  std::vector<std::uint64_t> counts(10, 1000);
+  counts[0] = 1150;
+  const auto iid = chi_square_uniform(counts, 1.0);
+  const auto corr = chi_square_uniform(counts, 10.0);
+  // Correlated visits carry less information: same counts, higher p.
+  EXPECT_GT(corr.p_value, iid.p_value);
+  EXPECT_NEAR(corr.statistic, iid.statistic / 19.0, 1e-9);
+}
+
+TEST(ChiSquareUniform, CalibratedOnRealMultinomialDraws) {
+  // Uniform multinomial sampling must be accepted at alpha = 1e-3 with
+  // overwhelming probability; a fixed seed keeps this deterministic.
+  Philox4x32 rng(12345, 0);
+  std::vector<std::uint64_t> counts(16, 0);
+  for (int i = 0; i < 160000; ++i)
+    ++counts[uniform_index(rng, counts.size())];
+  EXPECT_TRUE(chi_square_uniform(counts).accept())
+      << "p=" << chi_square_uniform(counts).p_value;
+}
+
+TEST(ChiSquareExpected, ExactProportionsGiveZeroStatistic) {
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::uint64_t> counts = {100, 200, 300, 400};
+  const auto r = chi_square_expected(counts, probs);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_TRUE(r.accept());
+}
+
+TEST(ChiSquareExpected, ImpossibleCellFailsHard) {
+  const std::vector<double> probs = {0.5, 0.5, 0.0};
+  const std::vector<std::uint64_t> counts = {50, 50, 1};
+  const auto r = chi_square_expected(counts, probs);
+  EXPECT_EQ(r.p_value, 0.0);
+  EXPECT_FALSE(r.accept());
+}
+
+TEST(ChiSquareExpected, PoolsSparseCells) {
+  // Tail cells with tiny expected counts must be pooled, not fed to the
+  // asymptotic chi-square raw.
+  std::vector<double> probs = {0.9, 0.05, 0.03, 0.01, 0.005, 0.005};
+  std::vector<std::uint64_t> counts = {90, 5, 3, 1, 1, 0};
+  const auto r = chi_square_expected(counts, probs);
+  EXPECT_LT(r.n_cells, counts.size());
+  EXPECT_TRUE(r.accept());
+}
+
+TEST(ChiSquareExpected, UnnormalisedProbabilitiesWork) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<std::uint64_t> counts = {100, 200, 300, 400};
+  const auto r = chi_square_expected(counts, weights);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+}
+
+TEST(KsDiscrete, MatchingDistributionAccepted) {
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<std::uint64_t> counts = {2500, 2500, 2500, 2500};
+  const auto r = ks_discrete(counts, probs);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_TRUE(r.accept());
+}
+
+TEST(KsDiscrete, ShiftedDistributionRejected) {
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<std::uint64_t> counts = {4000, 3000, 2000, 1000};
+  const auto r = ks_discrete(counts, probs);
+  EXPECT_FALSE(r.accept());
+  EXPECT_LT(r.p_value, 1e-9);
+}
+
+TEST(KsDiscrete, TauShrinksEffectiveSamples) {
+  const std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<std::uint64_t> counts = {2600, 2500, 2500, 2400};
+  const auto iid = ks_discrete(counts, probs, 1.0);
+  const auto corr = ks_discrete(counts, probs, 50.0);
+  EXPECT_GT(corr.p_value, iid.p_value);
+}
+
+TEST(ErrorBars, BlockedErrorOnIidSeries) {
+  Philox4x32 rng(777, 0);
+  std::vector<double> series(20000);
+  for (auto& v : series) v = uniform01(rng);
+  const auto bar = blocked_error(series);
+  // Uniform(0,1): mean 1/2, sigma of the mean sqrt(1/12/n).
+  const double expect_sigma = std::sqrt(1.0 / 12.0 / 20000.0);
+  EXPECT_NEAR(bar.mean, 0.5, 5 * expect_sigma);
+  EXPECT_GT(bar.sigma, 0.5 * expect_sigma);
+  EXPECT_LT(bar.sigma, 2.0 * expect_sigma);
+  EXPECT_TRUE(bar.within(0.5, kDefaultKSigma));
+  EXPECT_FALSE(bar.within(0.6, kDefaultKSigma));
+}
+
+TEST(ErrorBars, CorrelatedSeriesGetsWiderBars) {
+  Philox4x32 rng(778, 0);
+  // AR(1)-style correlated series.
+  std::vector<double> series(20000);
+  double x = 0.0;
+  for (auto& v : series) {
+    x = 0.95 * x + uniform01(rng) - 0.5;
+    v = x;
+  }
+  const auto bar = blocked_error(series);
+  // Naive iid error would be sigma/sqrt(n); blocking must inflate it.
+  double var = 0.0, mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  for (const double v : series) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(series.size() - 1);
+  const double naive = std::sqrt(var / static_cast<double>(series.size()));
+  EXPECT_GT(bar.sigma, 2.0 * naive);
+  EXPECT_GT(bar.tau, 2.0);
+}
+
+TEST(ErrorBars, JackknifeMatchesDirectForLinearFunctional) {
+  Philox4x32 rng(779, 0);
+  std::vector<double> blocks(64);
+  for (auto& v : blocks) v = uniform01(rng);
+  const auto jk = jackknife(blocks, [](std::span<const double> b) {
+    double s = 0.0;
+    for (const double v : b) s += v;
+    return s / static_cast<double>(b.size());
+  });
+  // For the mean, jackknife sigma equals the classical standard error.
+  double mean = 0.0;
+  for (const double v : blocks) mean += v;
+  mean /= 64.0;
+  double var = 0.0;
+  for (const double v : blocks) var += (v - mean) * (v - mean);
+  const double classical = std::sqrt(var / 63.0 / 64.0);
+  EXPECT_NEAR(jk.mean, mean, 1e-12);
+  EXPECT_NEAR(jk.sigma, classical, 1e-9);
+}
+
+TEST(ErrorBars, JackknifeCoversNonlinearFunctional) {
+  Philox4x32 rng(780, 0);
+  std::vector<double> blocks(128);
+  for (auto& v : blocks) v = 1.0 + uniform01(rng);
+  const auto jk = jackknife(blocks, [](std::span<const double> b) {
+    double s = 0.0, s2 = 0.0;
+    for (const double v : b) {
+      s += v;
+      s2 += v * v;
+    }
+    const double m = s / static_cast<double>(b.size());
+    return s2 / static_cast<double>(b.size()) - m * m;  // variance
+  });
+  // True variance of U(1,2) is 1/12.
+  EXPECT_TRUE(jk.within(1.0 / 12.0, kDefaultKSigma))
+      << jk.mean << " +- " << jk.sigma;
+}
+
+TEST(ErrorBars, JackknifeRequiresTwoBlocks) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(jackknife(one, [](std::span<const double>) { return 0.0; }),
+               dt::Error);
+}
+
+TEST(ErrorBars, DecorrelatedBlocksPartitionSeries) {
+  std::vector<double> series(1000, 1.0);
+  const auto blocks = decorrelated_blocks(series);
+  EXPECT_GE(blocks.size(), 4u);
+  for (const double b : blocks) EXPECT_DOUBLE_EQ(b, 1.0);
+}
+
+TEST(KSigmaPolicy, ZScoreConventions) {
+  EXPECT_DOUBLE_EQ(z_score(1.0, 1.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(z_score(1.0, 2.0, 0.0)));
+  EXPECT_DOUBLE_EQ(z_score(3.0, 1.0, 2.0), 1.0);
+}
+
+TEST(TestSeeds, FallbackWhenUnset) {
+  ::unsetenv("DT_TEST_SEED");
+  EXPECT_EQ(effective_test_seed(42), 42u);
+}
+
+TEST(TestSeeds, EnvOverridesDecimalAndHex) {
+  ::setenv("DT_TEST_SEED", "12345", 1);
+  EXPECT_EQ(effective_test_seed(42), 12345u);
+  ::setenv("DT_TEST_SEED", "0xdeadbeef", 1);
+  EXPECT_EQ(effective_test_seed(42), 0xdeadbeefu);
+  ::unsetenv("DT_TEST_SEED");
+}
+
+TEST(TestSeeds, GarbageEnvThrows) {
+  ::setenv("DT_TEST_SEED", "not-a-seed", 1);
+  EXPECT_THROW(effective_test_seed(42), dt::Error);
+  ::unsetenv("DT_TEST_SEED");
+}
+
+TEST(TestSeeds, TraceMentionsSeedAndOverride) {
+  const auto msg = seed_trace(99);
+  EXPECT_NE(msg.find("99"), std::string::npos);
+  EXPECT_NE(msg.find("DT_TEST_SEED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dt::validate

@@ -2,51 +2,36 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cmath>
-#include <map>
+#include <memory>
 
 #include "common/error.hpp"
+#include "validate/oracle.hpp"
 
 namespace dt::mc {
 namespace {
 
-using lattice::Configuration;
 using lattice::Lattice;
 using lattice::LatticeType;
 
-struct ExactDos {
-  std::map<long long, double> level_counts;  // 4*E -> count
-  double e_min = 0, e_max = 0, total = 0;
-};
-
-ExactDos enumerate_bcc222_ising() {
-  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
-  const auto ham = lattice::epi_ising(1.0);
-  const int n = lat.num_sites();
-  ExactDos out;
-  out.e_min = 1e300;
-  out.e_max = -1e300;
-  for (unsigned mask = 0; mask < (1u << n); ++mask) {
-    if (std::popcount(mask) != n / 2) continue;
-    Configuration cfg(lat, 2);
-    for (int i = 0; i < n; ++i)
-      cfg.set(i, (mask >> static_cast<unsigned>(i)) & 1u ? 1 : 0);
-    const double e = ham.total_energy(cfg);
-    out.level_counts[std::llround(4 * e)] += 1.0;
-    out.e_min = std::min(out.e_min, e);
-    out.e_max = std::max(out.e_max, e);
-    out.total += 1.0;
-  }
-  return out;
+// Exact reference from the shared enumeration oracle; the independent
+// bitmask cross-check of the oracle itself lives in
+// tests/test_validate_oracle.cpp.
+const validate::ExactOracle& exact_bcc222() {
+  static const std::shared_ptr<const validate::ExactOracle> oracle =
+      validate::ExactOracle::get(
+          lattice::epi_ising(1.0),
+          Lattice::create(LatticeType::kBCC, 2, 2, 2, 1),
+          validate::equiatomic_composition(16, 2));
+  return *oracle;
 }
 
 TEST(WangLandau, RecoversExactDosOfEnumerableSystem) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const ExactDos exact = enumerate_bcc222_ising();
+  const auto& exact = exact_bcc222();
 
-  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 140);
+  const EnergyGrid grid(exact.e_min() - 0.5, exact.e_max() + 0.5, 140);
   Rng rng(3, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
   WangLandauOptions opts;
@@ -56,21 +41,22 @@ TEST(WangLandau, RecoversExactDosOfEnumerableSystem) {
 
   ASSERT_TRUE(wl.run(prop, 100000));
   auto dos = wl.dos();
-  dos.normalize(std::log(exact.total));
+  dos.normalize(exact.log_total_states());
 
-  for (const auto& [k, count] : exact.level_counts) {
-    const std::int32_t bin = grid.bin(k / 4.0);
-    ASSERT_TRUE(dos.visited(bin)) << "level " << k / 4.0 << " unvisited";
-    EXPECT_NEAR(dos.log_g(bin), std::log(count), 0.25)
-        << "level " << k / 4.0;
+  for (const auto& level : exact.levels()) {
+    const std::int32_t bin = grid.bin(level.energy);
+    ASSERT_TRUE(dos.visited(bin)) << "level " << level.energy
+                                  << " unvisited";
+    EXPECT_NEAR(dos.log_g(bin), std::log(level.count), 0.25)
+        << "level " << level.energy;
   }
 }
 
 TEST(WangLandau, SeedIndependentWithinTolerance) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const ExactDos exact = enumerate_bcc222_ising();
-  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 140);
+  const auto& exact = exact_bcc222();
+  const EnergyGrid grid(exact.e_min() - 0.5, exact.e_max() + 0.5, 140);
 
   std::vector<DensityOfStates> runs;
   for (std::uint64_t seed : {11ULL, 17ULL}) {
@@ -82,12 +68,11 @@ TEST(WangLandau, SeedIndependentWithinTolerance) {
     LocalSwapProposal prop(ham);
     ASSERT_TRUE(wl.run(prop, 100000));
     auto dos = wl.dos();
-    dos.normalize(std::log(exact.total));
+    dos.normalize(exact.log_total_states());
     runs.push_back(std::move(dos));
   }
-  for (const auto& [k, count] : exact.level_counts) {
-    (void)count;
-    const std::int32_t bin = runs[0].grid().bin(k / 4.0);
+  for (const auto& level : exact.levels()) {
+    const std::int32_t bin = runs[0].grid().bin(level.energy);
     EXPECT_NEAR(runs[0].log_g(bin), runs[1].log_g(bin), 0.4);
   }
 }
@@ -205,8 +190,8 @@ TEST(WangLandau, OneOverTPhaseMonotonicallyRefines) {
 TEST(WangLandau, RoundTripsAccumulate) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const ExactDos exact = enumerate_bcc222_ising();
-  const EnergyGrid grid(exact.e_min - 0.5, exact.e_max + 0.5, 100);
+  const auto& exact = exact_bcc222();
+  const EnergyGrid grid(exact.e_min() - 0.5, exact.e_max() + 0.5, 100);
   Rng rng(10, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
   WangLandauSampler wl(ham, cfg, grid, WangLandauOptions{}, Rng(10, 1));
@@ -239,16 +224,17 @@ TEST(WangLandau, AdvancePreservesStateAcrossCalls) {
 TEST(EstimateEnergyRange, BracketsExactSpectrum) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::epi_ising(1.0);
-  const ExactDos exact = enumerate_bcc222_ising();
+  const auto& exact = exact_bcc222();
+  const double e_min = exact.e_min(), e_max = exact.e_max();
   Rng rng(13, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
   const auto [lo, hi] =
       estimate_energy_range(ham, cfg, 50, 0.02, Rng(13, 1));
-  EXPECT_LE(lo, exact.e_min);
-  EXPECT_GE(hi, exact.e_max);
+  EXPECT_LE(lo, e_min);
+  EXPECT_GE(hi, e_max);
   // Not absurdly padded either.
-  EXPECT_GT(lo, exact.e_min - 0.5 * (exact.e_max - exact.e_min));
-  EXPECT_LT(hi, exact.e_max + 0.5 * (exact.e_max - exact.e_min));
+  EXPECT_GT(lo, e_min - 0.5 * (e_max - e_min));
+  EXPECT_LT(hi, e_max + 0.5 * (e_max - e_min));
 }
 
 TEST(WangLandau, AdoptMovesWalker) {
