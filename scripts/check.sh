@@ -1,53 +1,163 @@
 #!/usr/bin/env bash
-# Pre-merge gate: build with AddressSanitizer + UndefinedBehaviorSanitizer
-# and run the tier-1 test suite under them (see README "Test tiers").
+# Pre-merge gate. Stages, in order (see README "check.sh pipeline"):
 #
-#   scripts/check.sh [extra ctest args...]
+#   static      dt_lint domain invariants (+ standalone-header compile),
+#               clang-format diff gate, clang-tidy profile
+#   asan        ASan/UBSan build, tier-1 suite under both
+#   tsan        ThreadSanitizer pass over the concurrency-heavy tests
+#   coverage    line-coverage floors for src/mc/ and src/validate/
+#   perf        Release perf smoke vs BENCH_baseline.json
 #
-# Uses a dedicated build tree (build-asan/) so the regular build/ stays
-# untouched. Pass e.g. -R Determinism to narrow the run.
+#   scripts/check.sh [extra ctest args...]     (args go to the asan stage)
+#
+# Escape hatches (set to 1): DT_SKIP_LINT, DT_SKIP_CLANG_TIDY,
+# DT_SKIP_TSAN, DT_SKIP_COVERAGE, DT_SKIP_PERF_SMOKE. Stages that need
+# a missing optional tool (clang-format, clang-tidy) self-skip.
+#
+# Each stage emits one machine-readable summary line:
+#   check.sh[stage] name=<stage> status=<ok|fail|skip> duration_s=<secs>
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-asan"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDT_ENABLE_SANITIZERS=ON
-cmake --build "${build_dir}" -j "${jobs}"
+ctest_args=("$@")
 
 # abort_on_error makes ASan failures fail the ctest run instead of just
 # printing; detect_leaks stays on (default) to catch checkpoint I/O leaks.
 export ASAN_OPTIONS="abort_on_error=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
 
-cd "${build_dir}"
-ctest --output-on-failure -j "${jobs}" -L tier1 "$@"
-echo "check.sh: tier-1 suite clean under ASan/UBSan"
+# ---- stage harness ------------------------------------------------------
+# run_stage <name> <fn> runs <fn> in a subshell, times it, and prints the
+# summary line. A failing stage prints status=fail and stops the gate.
+# A stage may skip itself by returning 99.
+declare -a stage_lines=()
 
-# ---- ThreadSanitizer pass ----------------------------------------------
+summarize() {
+  printf '%s\n' "" "check.sh summary:"
+  printf '  %s\n' "${stage_lines[@]}"
+}
+
+run_stage() {
+  local name="$1" fn="$2" status rc t0 t1
+  t0=$(date +%s)
+  rc=0
+  ( "${fn}" ) || rc=$?
+  t1=$(date +%s)
+  case "${rc}" in
+    0) status=ok ;;
+    99) status=skip ;;
+    *) status=fail ;;
+  esac
+  local line="check.sh[stage] name=${name} status=${status} duration_s=$((t1 - t0))"
+  echo "${line}"
+  stage_lines+=("${line}")
+  if [[ "${status}" == fail ]]; then
+    summarize
+    echo "check.sh: stage '${name}' FAILED" >&2
+    exit 1
+  fi
+}
+
+# ---- static pass --------------------------------------------------------
+# Cheapest and most deterministic checks run first so discipline
+# violations fail in seconds, before any compiler warms up.
+
+stage_lint() {
+  if [[ "${DT_SKIP_LINT:-0}" == "1" ]]; then
+    echo "check.sh: dt_lint skipped (DT_SKIP_LINT=1)"
+    return 99
+  fi
+  python3 "${repo_root}/scripts/lint/dt_lint.py" --repo "${repo_root}" \
+    --self-test tests/lint
+  python3 "${repo_root}/scripts/lint/dt_lint.py" --repo "${repo_root}" \
+    --compile-headers
+  echo "check.sh: dt_lint invariants hold (src/ + standalone headers)"
+}
+
+stage_format() {
+  if [[ "${DT_SKIP_LINT:-0}" == "1" ]]; then
+    echo "check.sh: format gate skipped (DT_SKIP_LINT=1)"
+    return 99
+  fi
+  # check_format.sh self-skips (exit 2) when clang-format is absent.
+  local rc=0
+  "${repo_root}/scripts/check_format.sh" || rc=$?
+  if [[ "${rc}" == "2" ]]; then
+    return 99
+  fi
+  return "${rc}"
+}
+
+stage_clang_tidy() {
+  if [[ "${DT_SKIP_CLANG_TIDY:-0}" == "1" ]]; then
+    echo "check.sh: clang-tidy skipped (DT_SKIP_CLANG_TIDY=1)"
+    return 99
+  fi
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy skipped (no clang-tidy on PATH)"
+    return 99
+  fi
+  local tidy_dir="${repo_root}/build-tidy"
+  cmake -B "${tidy_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDT_ENABLE_CLANG_TIDY=ON \
+    -DDT_BUILD_BENCH=OFF -DDT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${tidy_dir}" -j "${jobs}"
+  echo "check.sh: clang-tidy profile clean"
+}
+
+run_stage static_lint stage_lint
+run_stage static_format stage_format
+run_stage static_clang_tidy stage_clang_tidy
+
+# ---- ASan/UBSan tier-1 --------------------------------------------------
+# Dedicated build tree (build-asan/) so the regular build/ stays
+# untouched. Pass e.g. -R Determinism to narrow the run.
+
+stage_asan() {
+  local build_dir="${repo_root}/build-asan"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDT_ENABLE_SANITIZERS=ON
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    -L tier1 "${ctest_args[@]}"
+  echo "check.sh: tier-1 suite clean under ASan/UBSan"
+}
+
+run_stage asan_tier1 stage_asan
+
+# ---- ThreadSanitizer pass -----------------------------------------------
 # Races in the lock-free observability plane (metrics registry, trace
-# ring, health cells scraped over HTTP mid-run) slip past ASan; rebuild
-# the three concerned test binaries under TSan and run them directly.
-# Skip with DT_SKIP_TSAN=1 (e.g. when the toolchain lacks libtsan).
-if [[ "${DT_SKIP_TSAN:-0}" == "1" ]]; then
-  echo "check.sh: TSan pass skipped (DT_SKIP_TSAN=1)"
-else
-  tsan_dir="${repo_root}/build-tsan"
+# ring, health cells scraped over HTTP mid-run) and in the REWL/minicomm
+# thread fabric slip past ASan; rebuild the concerned test binaries
+# under TSan and run them directly. Skip with DT_SKIP_TSAN=1 (e.g. when
+# the toolchain lacks libtsan).
+
+stage_tsan() {
+  if [[ "${DT_SKIP_TSAN:-0}" == "1" ]]; then
+    echo "check.sh: TSan pass skipped (DT_SKIP_TSAN=1)"
+    return 99
+  fi
+  local tsan_dir="${repo_root}/build-tsan"
+  local targets=(test_metrics test_trace test_http_obs
+                 test_minicomm test_rewl test_ddp)
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDT_ENABLE_TSAN=ON >/dev/null
-  cmake --build "${tsan_dir}" -j "${jobs}" \
-    --target test_metrics test_trace test_http_obs
+  cmake --build "${tsan_dir}" -j "${jobs}" --target "${targets[@]}"
   # OMP_NUM_THREADS=1: libgomp is not TSan-instrumented and would emit
   # false positives from its own synchronisation.
-  for t in test_metrics test_trace test_http_obs; do
+  local t
+  for t in "${targets[@]}"; do
     TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}" OMP_NUM_THREADS=1 \
       "${tsan_dir}/tests/${t}"
   done
-  echo "check.sh: observability tests clean under TSan"
-fi
+  echo "check.sh: concurrency tests clean under TSan"
+}
+
+run_stage tsan stage_tsan
 
 # ---- Coverage gate ------------------------------------------------------
 # Line-coverage floors for the subsystems whose correctness argument
@@ -55,10 +165,13 @@ fi
 # harness"). Instrumented build tree (build-cov/), tier-1 + oracle test
 # run, then scripts/coverage_report.py aggregates the gcov counters and
 # enforces the floors. Skip with DT_SKIP_COVERAGE=1 (slow: -O0 build).
-if [[ "${DT_SKIP_COVERAGE:-0}" == "1" ]]; then
-  echo "check.sh: coverage gate skipped (DT_SKIP_COVERAGE=1)"
-else
-  cov_dir="${repo_root}/build-cov"
+
+stage_coverage() {
+  if [[ "${DT_SKIP_COVERAGE:-0}" == "1" ]]; then
+    echo "check.sh: coverage gate skipped (DT_SKIP_COVERAGE=1)"
+    return 99
+  fi
+  local cov_dir="${repo_root}/build-cov"
   cmake -B "${cov_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DDT_ENABLE_COVERAGE=ON \
@@ -74,7 +187,9 @@ else
     -E 'MultiSpeciesStateCountIsMultinomial' --output-on-failure
   python3 "${repo_root}/scripts/coverage_report.py" "${cov_dir}"
   echo "check.sh: coverage floors met"
-fi
+}
+
+run_stage coverage stage_coverage
 
 # ---- Release perf smoke -------------------------------------------------
 # Guards the proposal fast path (ISSUE 4): re-times the headline micro
@@ -82,29 +197,31 @@ fi
 # against BENCH_baseline.json. Re-record the baseline on an intentional
 # perf change with scripts/bench_baseline.sh. Skip with
 # DT_SKIP_PERF_SMOKE=1 (e.g. on loaded CI machines).
-if [[ "${DT_SKIP_PERF_SMOKE:-0}" == "1" ]]; then
-  echo "check.sh: perf smoke skipped (DT_SKIP_PERF_SMOKE=1)"
-  exit 0
-fi
-baseline="${repo_root}/BENCH_baseline.json"
-if [[ ! -f "${baseline}" ]]; then
-  echo "check.sh: WARNING perf smoke skipped -- ${baseline} missing" \
-       "(record it with scripts/bench_baseline.sh)"
-  exit 0
-fi
 
-release_dir="${repo_root}/build"
-cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
-  >/dev/null
-cmake --build "${release_dir}" -j "${jobs}" --target bench_micro
-smoke_json="${release_dir}/bench_micro_smoke.json"
-"${release_dir}/bench/bench_micro" \
-  --benchmark_filter='BM_(GemmNN/256|VaeGlobalProposal/10/16|TotalEnergy/8)' \
-  --benchmark_min_time=0.5 --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
-  --benchmark_out="${smoke_json}" --benchmark_out_format=json >/dev/null
+stage_perf() {
+  if [[ "${DT_SKIP_PERF_SMOKE:-0}" == "1" ]]; then
+    echo "check.sh: perf smoke skipped (DT_SKIP_PERF_SMOKE=1)"
+    return 99
+  fi
+  local baseline="${repo_root}/BENCH_baseline.json"
+  if [[ ! -f "${baseline}" ]]; then
+    echo "check.sh: WARNING perf smoke skipped -- ${baseline} missing" \
+         "(record it with scripts/bench_baseline.sh)"
+    return 99
+  fi
 
-python3 - "${baseline}" "${smoke_json}" <<'PY'
+  local release_dir="${repo_root}/build"
+  cmake -B "${release_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+    >/dev/null
+  cmake --build "${release_dir}" -j "${jobs}" --target bench_micro
+  local smoke_json="${release_dir}/bench_micro_smoke.json"
+  "${release_dir}/bench/bench_micro" \
+    --benchmark_filter='BM_(GemmNN/256|VaeGlobalProposal/10/16|TotalEnergy/8)' \
+    --benchmark_min_time=0.5 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="${smoke_json}" --benchmark_out_format=json >/dev/null
+
+  python3 - "${baseline}" "${smoke_json}" <<'PY'
 import json
 import sys
 
@@ -138,3 +255,9 @@ if failures:
              + ", ".join(failures))
 print("check.sh: perf smoke clean")
 PY
+}
+
+run_stage perf_smoke stage_perf
+
+summarize
+echo "check.sh: all stages passed (or explicitly skipped)"

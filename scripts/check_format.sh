@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Formatting diff gate: every C++ file under src/, tests/, bench/ and
+# examples/ must be clang-format-clean against the project .clang-format
+# (Google base, 80 columns). Prints a unified diff per offending file.
+#
+#   scripts/check_format.sh            # gate (exit 1 on drift)
+#   scripts/check_format.sh --fix      # rewrite files in place
+#
+# Exit codes: 0 clean, 1 drift found, 2 clang-format not installed
+# (callers like check.sh treat 2 as a skip, not a failure).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+mode="${1:-check}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not found on PATH; skipping" >&2
+  exit 2
+fi
+
+mapfile -t files < <(
+  find "${repo_root}/src" "${repo_root}/tests" "${repo_root}/bench" \
+       "${repo_root}/examples" \
+       -name '*.hpp' -o -name '*.cpp' | sort)
+
+if [[ "${mode}" == "--fix" ]]; then
+  clang-format -i --style=file "${files[@]}"
+  echo "check_format.sh: reformatted ${#files[@]} file(s)"
+  exit 0
+fi
+
+drift=0
+for f in "${files[@]}"; do
+  if ! diff -u --label "${f}" --label "${f} (formatted)" \
+       "${f}" <(clang-format --style=file "${f}") ; then
+    drift=1
+  fi
+done
+
+if [[ "${drift}" == "1" ]]; then
+  echo "check_format.sh: formatting drift -- run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format.sh: ${#files[@]} file(s) clang-format clean"

@@ -1,0 +1,549 @@
+#!/usr/bin/env python3
+"""dt_lint: domain-invariant linter for the deepthermo tree.
+
+Enforces project invariants that generic tooling cannot express:
+
+  rng-discipline        All randomness flows through src/common/rng
+                        (Philox / xoshiro with explicit streams, so runs
+                        are bit-exact reproducible and resumable). Bans
+                        rand()/srand(), std::random_device and ad-hoc
+                        std::mt19937 engines everywhere else.
+  wallclock-discipline  Wall-clock time (std::chrono::system_clock,
+                        std::time, gettimeofday) is banned outside the
+                        timestamping layer; measurement code must use
+                        the steady clock via common/stopwatch.
+  hot-path-purity       Functions named in the hotlist (inner sampling /
+                        GEMM kernels) may not allocate, construct owning
+                        containers, or take locks.
+  io-discipline         Library code writes through the logger; the
+                        printf family and std::cout/cerr/clog are banned
+                        (dt::strformat is the sanctioned wrapper).
+  header-hygiene        Every header carries #pragma once; with
+                        --compile-headers each header must also compile
+                        standalone (self-sufficient includes).
+
+Violations are suppressed case-by-case through an allowlist file
+(default scripts/lint/dt_lint_allow.txt) whose entries carry a required
+justification; entries that no longer match anything are an error, so
+the allowlist cannot rot.
+
+Exit codes: 0 clean, 1 violations (or self-test failure), 2 bad
+invocation / config (unparseable allowlist, stale entries, ...).
+
+Usage:
+  dt_lint.py [--root DIR] [--allowlist FILE] [--hotlist FILE]
+             [--compile-headers] [--quiet]
+  dt_lint.py --self-test tests/lint
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import subprocess
+import sys
+
+RULES = (
+    "rng-discipline",
+    "wallclock-discipline",
+    "hot-path-purity",
+    "io-discipline",
+    "header-hygiene",
+)
+
+# Paths (relative, '/'-separated) exempt from rng-discipline: the RNG
+# layer itself is where the engines live.
+RNG_HOME = ("src/common/rng",)
+
+SOURCE_SUFFIXES = (".hpp", ".cpp")
+
+
+class LintError(Exception):
+    """Configuration problem (bad allowlist, bad hotlist, ...)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str  # relative, '/'-separated
+    line: int  # 1-based
+    message: str
+    symbol: str | None = None  # function name for hot-path-purity
+
+
+# --------------------------------------------------------------------------
+# Source preprocessing: blank out comments and string/char literals while
+# preserving line structure, so rule regexes never match inside either.
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == "R" and text[i : i + 2] == 'R"':
+            # Raw string literal R"delim( ... )delim"
+            m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            end = text.find(")" + m.group(1) + '"', i + m.end())
+            end = n if end < 0 else end + len(m.group(1)) + 2
+            out.extend(ch if ch == "\n" else "" for ch in text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Line-pattern rules
+# --------------------------------------------------------------------------
+
+RNG_PATTERNS = (
+    (re.compile(r"(\bstd::|(?<![\w:.>]))s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "ad-hoc std::mt19937 engine"),
+)
+
+WALLCLOCK_PATTERNS = (
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bstd::time\s*\("), "std::time()"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(nullptr|NULL|0|&)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+)
+
+IO_PATTERNS = (
+    (
+        re.compile(
+            r"\b(v?f?printf|v?s(n)?printf|puts|fputs|putchar|fputc)\s*\("
+        ),
+        "printf-family call",
+    ),
+    (re.compile(r"\bstd::(cout|cerr|clog)\b"), "console iostream"),
+)
+
+
+def scan_line_rules(path: str, stripped: str) -> list[Violation]:
+    out: list[Violation] = []
+    rng_exempt = any(path.startswith(home) for home in RNG_HOME)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if not rng_exempt:
+            for pat, what in RNG_PATTERNS:
+                if pat.search(line):
+                    out.append(Violation(
+                        "rng-discipline", path, lineno,
+                        f"{what}: use the engines in src/common/rng "
+                        "(deterministic, stream-splittable, resumable)"))
+        for pat, what in WALLCLOCK_PATTERNS:
+            if pat.search(line):
+                out.append(Violation(
+                    "wallclock-discipline", path, lineno,
+                    f"{what}: wall-clock reads belong to the logger's "
+                    "timestamp path; measure with common/stopwatch "
+                    "(steady clock)"))
+        for pat, what in IO_PATTERNS:
+            if pat.search(line):
+                out.append(Violation(
+                    "io-discipline", path, lineno,
+                    f"{what}: library code reports through DT_LOG_* and "
+                    "formats with dt::strformat"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# hot-path-purity: locate hotlisted function bodies by brace matching.
+# --------------------------------------------------------------------------
+
+ALLOC_PATTERNS = (
+    (re.compile(r"(?<![\w:.])new\b(?!\s*\()"), "operator new"),
+    (re.compile(r"(?<![\w:.])new\s*\("), "operator new"),
+    (re.compile(r"\b(malloc|calloc|realloc)\s*\("), "malloc-family call"),
+    (re.compile(r"\bmake_(unique|shared)\b"), "make_unique/make_shared"),
+    (
+        re.compile(
+            r"\bstd::(vector|string|deque|list|map|unordered_map|set"
+            r"|unordered_set)\b\s*(<[^;{}]*>)?\s+[A-Za-z_]\w*\s*[({=;]"
+        ),
+        "local owning-container construction",
+    ),
+)
+
+LOCK_PATTERNS = (
+    (
+        re.compile(
+            r"\b(lock_guard|unique_lock|scoped_lock|shared_lock|MutexLock)\b"
+        ),
+        "lock acquisition",
+    ),
+    (re.compile(r"(->|\.)\s*lock\s*\("), "explicit lock() call"),
+)
+
+
+def find_function_body(stripped: str, name: str) -> tuple[int, str] | None:
+    """(1-based line of the opening brace, body text) for `name`'s
+    definition, or None. Definitions only: a ';' before '{' is a
+    declaration and is skipped."""
+    for m in re.finditer(r"\b%s\s*\(" % re.escape(name), stripped):
+        i = m.end() - 1  # at '('
+        depth = 0
+        n = len(stripped)
+        while i < n:  # skip the parameter list
+            if stripped[i] == "(":
+                depth += 1
+            elif stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        i += 1
+        # Trailing qualifiers (const, noexcept, -> T, attributes) may
+        # precede the body; a ';' first means no body here.
+        while i < n and stripped[i] not in "{;":
+            i += 1
+        if i >= n or stripped[i] == ";":
+            continue
+        start = i
+        depth = 0
+        while i < n:
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        line = stripped.count("\n", 0, start) + 1
+        return line, stripped[start : i + 1]
+    return None
+
+
+def scan_hot_path(path: str, stripped: str,
+                  functions: list[str]) -> list[Violation]:
+    out: list[Violation] = []
+    for fn in functions:
+        located = find_function_body(stripped, fn)
+        if located is None:
+            raise LintError(
+                f"hotlist names {path}:{fn} but no definition of "
+                f"'{fn}' was found there (stale hotlist entry?)")
+        body_line, body = located
+        for offset, line in enumerate(body.splitlines()):
+            for pat, what in ALLOC_PATTERNS + LOCK_PATTERNS:
+                if pat.search(line):
+                    out.append(Violation(
+                        "hot-path-purity", path, body_line + offset,
+                        f"{what} inside hotlisted function '{fn}': hot "
+                        "kernels must use caller-provided workspace and "
+                        "stay lock-free", symbol=fn))
+    return out
+
+
+# --------------------------------------------------------------------------
+# header-hygiene
+# --------------------------------------------------------------------------
+
+
+def scan_header(path: str, original: str) -> list[Violation]:
+    if re.search(r"^\s*#\s*pragma\s+once\b", original, re.MULTILINE):
+        return []
+    return [Violation(
+        "header-hygiene", path, 1,
+        "header lacks #pragma once (include-guard policy)")]
+
+
+def compile_header_standalone(repo: pathlib.Path, path: str,
+                              include_dirs: list[str]) -> list[Violation]:
+    cmd = ["g++", "-std=c++20", "-fsyntax-only", "-x", "c++"]
+    for inc in include_dirs:
+        cmd += ["-I", str(repo / inc)]
+    cmd += [str(repo / path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 0:
+        return []
+    first = proc.stderr.strip().splitlines()
+    detail = first[0] if first else "g++ -fsyntax-only failed"
+    return [Violation(
+        "header-hygiene", path, 1,
+        f"header does not compile standalone (missing includes?): "
+        f"{detail}")]
+
+
+# --------------------------------------------------------------------------
+# Allowlist / hotlist parsing
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class AllowEntry:
+    rule: str
+    path: str
+    symbol: str | None
+    reason: str
+    line: int
+    used: bool = False
+
+    def matches(self, v: Violation) -> bool:
+        return (self.rule == v.rule and self.path == v.path and
+                (self.symbol is None or self.symbol == v.symbol))
+
+
+def parse_allowlist(path: pathlib.Path) -> list[AllowEntry]:
+    entries: list[AllowEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, reason = line.partition("#")
+        reason = reason.strip()
+        fields = body.split()
+        if len(fields) != 2 or not reason:
+            raise LintError(
+                f"{path}:{lineno}: allowlist entries are "
+                f"'<rule> <path>[:<symbol>]  # <reason>' (reason "
+                f"required): {raw!r}")
+        rule, spec = fields
+        if rule not in RULES:
+            raise LintError(
+                f"{path}:{lineno}: unknown rule '{rule}' "
+                f"(known: {', '.join(RULES)})")
+        target, _, symbol = spec.partition(":")
+        entries.append(AllowEntry(rule, target, symbol or None, reason,
+                                  lineno))
+    return entries
+
+
+def parse_hotlist(path: pathlib.Path) -> dict[str, list[str]]:
+    hot: dict[str, list[str]] = {}
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        target, sep, fn = line.partition(":")
+        if not sep or not fn or " " in fn:
+            raise LintError(
+                f"{path}:{lineno}: hotlist entries are "
+                f"'<path>:<function>': {raw!r}")
+        hot.setdefault(target, []).append(fn)
+    return hot
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def discover(repo: pathlib.Path, roots: list[str]) -> list[str]:
+    files: list[str] = []
+    for root in roots:
+        base = repo / root
+        if base.is_file():
+            files.append(root.replace("\\", "/"))
+            continue
+        if not base.is_dir():
+            raise LintError(f"lint root '{root}' does not exist")
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                files.append(p.relative_to(repo).as_posix())
+    return files
+
+
+def run_lint(repo: pathlib.Path, roots: list[str],
+             allow: list[AllowEntry], hotlist: dict[str, list[str]],
+             compile_headers: bool,
+             include_dirs: list[str]) -> list[Violation]:
+    violations: list[Violation] = []
+    hot_seen: set[str] = set()
+    for path in discover(repo, roots):
+        original = (repo / path).read_text(errors="replace")
+        stripped = strip_comments_and_strings(original)
+        violations += scan_line_rules(path, stripped)
+        if path in hotlist:
+            hot_seen.add(path)
+            violations += scan_hot_path(path, stripped, hotlist[path])
+        if path.endswith(".hpp"):
+            violations += scan_header(path, original)
+            if compile_headers:
+                violations += compile_header_standalone(
+                    repo, path, include_dirs)
+    for target in hotlist:
+        if target not in hot_seen:
+            raise LintError(
+                f"hotlist names '{target}' but that file is not under "
+                f"the scanned roots ({', '.join(roots)})")
+
+    kept: list[Violation] = []
+    for v in violations:
+        suppressed = False
+        for entry in allow:
+            if entry.matches(v):
+                entry.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(v)
+    stale = [e for e in allow if not e.used]
+    if stale:
+        lines = "\n".join(
+            f"  line {e.line}: {e.rule} "
+            f"{e.path}{':' + e.symbol if e.symbol else ''}"
+            for e in stale)
+        raise LintError(
+            "stale allowlist entries (no longer match any violation; "
+            f"delete them):\n{lines}")
+    kept.sort(key=lambda v: (v.path, v.line, v.rule))
+    return kept
+
+
+# --------------------------------------------------------------------------
+# Self-test: fixture cases under tests/lint/<case>/. Each case holds
+# sources whose '// EXPECT-VIOLATION: <rule>' markers declare the exact
+# multiset of violations the case must produce; optional allow.txt /
+# hotlist.txt configure the run, and an expect_error.txt declares that
+# the linter must fail with a config error containing that substring.
+# --------------------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-VIOLATION:\s*([a-z-]+)")
+
+
+def run_self_test(repo: pathlib.Path, fixtures: pathlib.Path) -> int:
+    cases = sorted(d for d in fixtures.iterdir() if d.is_dir())
+    if not cases:
+        print(f"dt_lint --self-test: no fixture cases under {fixtures}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for case in cases:
+        sources = sorted(
+            p.relative_to(repo).as_posix()
+            for p in case.iterdir() if p.suffix in SOURCE_SUFFIXES)
+        expected: dict[str, list[str]] = {s: [] for s in sources}
+        for src in sources:
+            for m in EXPECT_RE.finditer((repo / src).read_text()):
+                rule = m.group(1)
+                if rule not in RULES:
+                    print(f"FAIL {case.name}: marker names unknown rule "
+                          f"'{rule}' in {src}", file=sys.stderr)
+                    failures += 1
+                expected[src].append(rule)
+        allow_file = case / "allow.txt"
+        hot_file = case / "hotlist.txt"
+        expect_error = case / "expect_error.txt"
+        try:
+            allow = parse_allowlist(allow_file) if allow_file.exists() else []
+            hotlist = parse_hotlist(hot_file) if hot_file.exists() else {}
+            got = run_lint(repo, sources, allow, hotlist,
+                           compile_headers=False, include_dirs=[])
+        except LintError as err:
+            if expect_error.exists():
+                want = expect_error.read_text().strip()
+                if want in str(err):
+                    print(f"  ok  {case.name} (config error as expected)")
+                else:
+                    print(f"FAIL {case.name}: error {err!s:.120} does not "
+                          f"contain {want!r}", file=sys.stderr)
+                    failures += 1
+            else:
+                print(f"FAIL {case.name}: unexpected config error: {err}",
+                      file=sys.stderr)
+                failures += 1
+            continue
+        if expect_error.exists():
+            print(f"FAIL {case.name}: expected a config error, got "
+                  f"{len(got)} violation(s)", file=sys.stderr)
+            failures += 1
+            continue
+        actual: dict[str, list[str]] = {s: [] for s in sources}
+        for v in got:
+            actual.setdefault(v.path, []).append(v.rule)
+        ok = True
+        for src in sources:
+            if sorted(expected[src]) != sorted(actual.get(src, [])):
+                print(f"FAIL {case.name}: {src}: expected "
+                      f"{sorted(expected[src])}, got "
+                      f"{sorted(actual.get(src, []))}", file=sys.stderr)
+                ok = False
+                failures += 1
+        if ok:
+            print(f"  ok  {case.name}")
+    total = len(cases)
+    print(f"dt_lint --self-test: {total - failures}/{total} cases passed")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dt_lint.py",
+        description="deepthermo domain-invariant linter")
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: two levels up "
+                        "from this script)")
+    parser.add_argument("--root", action="append", default=None,
+                        metavar="DIR",
+                        help="directory/file to scan, relative to the "
+                        "repo (repeatable; default: src)")
+    parser.add_argument("--allowlist", default="scripts/lint/dt_lint_allow.txt")
+    parser.add_argument("--hotlist", default="scripts/lint/hotlist.txt")
+    parser.add_argument("--compile-headers", action="store_true",
+                        help="also compile each header standalone with "
+                        "g++ -fsyntax-only (slower)")
+    parser.add_argument("--include-dir", action="append", default=["src"],
+                        help="-I directory for --compile-headers")
+    parser.add_argument("--self-test", metavar="FIXTURES",
+                        help="run the fixture suite and exit")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    repo = (pathlib.Path(args.repo).resolve() if args.repo
+            else pathlib.Path(__file__).resolve().parents[2])
+
+    if args.self_test:
+        return run_self_test(repo, (repo / args.self_test).resolve())
+
+    try:
+        allow_path = repo / args.allowlist
+        hot_path = repo / args.hotlist
+        allow = parse_allowlist(allow_path) if allow_path.exists() else []
+        hotlist = parse_hotlist(hot_path) if hot_path.exists() else {}
+        violations = run_lint(repo, args.root or ["src"], allow, hotlist,
+                              args.compile_headers, args.include_dir)
+    except LintError as err:
+        print(f"dt_lint: config error: {err}", file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if not args.quiet or violations:
+        n_files = len(discover(repo, args.root or ["src"]))
+        print(f"dt_lint: {len(violations)} violation(s) across {n_files} "
+              f"file(s) scanned")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
+#include "common/strfmt.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::ckpt {
@@ -129,10 +130,8 @@ std::vector<std::string> Checkpoint::names() const {
 }
 
 std::string CheckpointStore::filename(std::uint64_t generation) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "ckpt-%06llu%s",
-                static_cast<unsigned long long>(generation), kSuffix);
-  return buf;
+  return strformat("ckpt-%06llu%s",
+                   static_cast<unsigned long long>(generation), kSuffix);
 }
 
 CheckpointStore::CheckpointStore(std::string dir, int keep_last)
@@ -162,7 +161,10 @@ std::vector<std::uint64_t> CheckpointStore::generations() const {
 
 SaveReport CheckpointStore::save(const CheckpointBuilder& builder) {
   Stopwatch clock;
-  const std::uint64_t generation = next_generation_++;
+  const std::uint64_t generation = [this] {
+    MutexLock lock(mutex_);
+    return next_generation_++;
+  }();
   const std::string bytes = builder.encode(generation);
 
   const std::string final_path = dir_ + "/" + filename(generation);

@@ -26,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
 namespace dt::ckpt {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
@@ -114,7 +117,10 @@ class CheckpointStore {
  private:
   std::string dir_;
   int keep_last_;
-  std::uint64_t next_generation_ = 1;
+  /// Serialises concurrent save() calls on one store: each claims a
+  /// distinct generation number.
+  Mutex mutex_;
+  std::uint64_t next_generation_ DT_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace dt::ckpt

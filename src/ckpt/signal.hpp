@@ -8,6 +8,12 @@
 //
 // Tests drive the same paths without real signals via request_save() /
 // request_stop().
+//
+// Deliberately atomics-only, with no dt::Mutex / DT_GUARDED_BY
+// capability annotations (DESIGN.md "Static analysis"): a signal
+// handler may only touch async-signal-safe state, and locking a mutex
+// from a handler can deadlock against the interrupted thread. The
+// flags below are the entire shared state, each a lock-free atomic.
 #pragma once
 
 #include <atomic>

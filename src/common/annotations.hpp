@@ -1,0 +1,77 @@
+// Clang thread-safety capability annotations (no-ops on other compilers).
+//
+// These macros wrap Clang's -Wthread-safety attribute set so the three
+// concurrent planes (REWL walkers, the lock-free observability plane,
+// signal-driven checkpointing) carry their locking contracts in the type
+// system: which mutex guards which field, which functions acquire or
+// require it, and which are deliberately outside the analysis. Clang
+// builds promote violations to errors (-Werror=thread-safety, wired in
+// the top-level CMakeLists); GCC builds compile the annotations away.
+//
+// The std::mutex shipped by libstdc++ is not itself annotated as a
+// capability, so annotated code locks through the dt::Mutex / dt::MutexLock
+// wrappers in common/mutex.hpp rather than std::mutex directly.
+//
+// Usage sketch (see DESIGN.md "Static analysis"):
+//
+//   class DT_CAPABILITY("mutex") Mutex { ... };
+//
+//   class Registry {
+//     void add(Item item) {
+//       MutexLock lock(mutex_);
+//       items_.push_back(std::move(item));   // OK: mutex_ held
+//     }
+//     mutable Mutex mutex_;
+//     std::vector<Item> items_ DT_GUARDED_BY(mutex_);
+//   };
+//
+// DT_NO_THREAD_SAFETY_ANALYSIS is the documented escape hatch for
+// functions whose safety argument lives outside what the analysis can
+// see (e.g. "only runs after the owning thread has been joined"); every
+// use must carry a comment stating that argument.
+#pragma once
+
+#if defined(__clang__)
+#define DT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define DT_CAPABILITY(x) DT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define DT_SCOPED_CAPABILITY DT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define DT_GUARDED_BY(x) DT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define DT_PT_GUARDED_BY(x) DT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define DT_ACQUIRE(...) DT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define DT_RELEASE(...) DT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first argument is the success value.
+#define DT_TRY_ACQUIRE(...) \
+  DT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability.
+#define DT_REQUIRES(...) DT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (anti-deadlock annotation).
+#define DT_EXCLUDES(...) DT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define DT_RETURN_CAPABILITY(x) DT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define DT_ASSERT_CAPABILITY(x) DT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opt a function out of the analysis. Always pair with a comment
+/// stating the out-of-band safety argument.
+#define DT_NO_THREAD_SAFETY_ANALYSIS \
+  DT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,84 @@
+// Capability-annotated mutex primitives (see common/annotations.hpp).
+//
+// dt::Mutex wraps std::mutex and carries Clang's `capability` attribute,
+// so fields can be declared DT_GUARDED_BY(mutex_) and clang builds
+// reject any access outside a critical section at compile time. The
+// wrappers add no state and no indirection: every method is a single
+// inlined forward to the underlying std::mutex.
+//
+//   mutable Mutex mutex_;
+//   std::map<K, V> table_ DT_GUARDED_BY(mutex_);
+//
+//   V lookup(const K& k) const {
+//     MutexLock lock(mutex_);
+//     return table_.at(k);
+//   }
+//
+// CondVar is the matching condition variable: it waits on dt::Mutex
+// directly (condition_variable_any; Mutex satisfies BasicLockable), and
+// its wait methods are annotated DT_REQUIRES(m) so waiting without the
+// lock is a compile error on clang.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace dt {
+
+class DT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DT_ACQUIRE() { m_.lock(); }
+  void unlock() DT_RELEASE() { m_.unlock(); }
+  bool try_lock() DT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII guard: the critical section is the guard's lifetime.
+class DT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DT_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over dt::Mutex. Callers hold the mutex (typically
+/// via MutexLock) and pass it explicitly; wait() releases it while
+/// blocked and reacquires before returning, as usual.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) DT_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  template <class Rep, class Period>
+  void wait_for(Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& timeout)
+      DT_REQUIRES(mutex) {
+    cv_.wait_for(mutex, timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dt

@@ -1,0 +1,26 @@
+#include "common/strfmt.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dt {
+
+std::string strformat(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    // One extra byte for vsnprintf's terminating NUL, trimmed after.
+    out.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args2);
+    out.resize(static_cast<std::size_t>(n));
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace dt

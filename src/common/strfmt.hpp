@@ -1,0 +1,21 @@
+// printf-style formatting into std::string.
+//
+// This is the one sanctioned home of the printf family in library code:
+// the dt_lint io-discipline rule bans <cstdio> everywhere else in src/
+// (console output belongs to the logger, string formatting belongs
+// here). The format attribute keeps -Wformat=2 checking call sites.
+//
+//   std::string s = strformat("ckpt-%06llu.dtc", generation);
+#pragma once
+
+#include <string>
+
+namespace dt {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+[[nodiscard]] std::string
+strformat(const char* fmt, ...);
+
+}  // namespace dt

@@ -42,14 +42,14 @@ void HealthRegistry::configure(int n_ranks, int n_windows,
     cell.last_improve_s.store(now, std::memory_order_relaxed);
     cell.last_publish_s.store(now, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   block_ = std::move(fresh);
 }
 
 bool HealthRegistry::active() const { return block() != nullptr; }
 
 std::shared_ptr<HealthRegistry::CellBlock> HealthRegistry::block() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return block_;
 }
 
@@ -128,12 +128,12 @@ void HealthRegistry::record_exchange(int lower_window, bool accepted) {
 }
 
 void HealthRegistry::set_phase(const std::string& phase) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   phase_ = phase;
 }
 
 std::string HealthRegistry::phase() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return phase_;
 }
 
@@ -271,7 +271,7 @@ std::string HealthRegistry::summary_line() const {
 }
 
 void HealthRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   block_.reset();
   phase_.clear();
   checkpoint_generation_.store(0, std::memory_order_relaxed);

@@ -18,10 +18,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 
 namespace dt::obs {
@@ -213,9 +214,11 @@ class HealthRegistry {
   [[nodiscard]] std::shared_ptr<CellBlock> block() const;
 
   Stopwatch clock_;
-  mutable std::mutex mutex_;
-  std::shared_ptr<CellBlock> block_;  ///< guarded by mutex_; read via block()
-  std::string phase_;
+  mutable Mutex mutex_;
+  /// Read via block(); the cells inside the block are atomics and are
+  /// accessed without the registry lock.
+  std::shared_ptr<CellBlock> block_ DT_GUARDED_BY(mutex_);
+  std::string phase_ DT_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> checkpoint_generation_{0};
 };
 

@@ -185,6 +185,7 @@ int HttpServer::active_count() {
 void HttpServer::start() {
   DT_CHECK_MSG(!running(), "HttpServer::start called twice");
   DT_CHECK(options_.port >= 0 && options_.port <= 65535);
+  MutexLock lock(lifecycle_mutex_);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
@@ -234,6 +235,7 @@ void HttpServer::start() {
 
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  MutexLock lock(lifecycle_mutex_);
   const char wake = 'x';
   [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &wake, 1);
   if (thread_.joinable()) thread_.join();

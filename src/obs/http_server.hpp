@@ -23,6 +23,9 @@
 #include <string>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
 namespace dt::obs {
 
 struct HttpServerOptions {
@@ -61,13 +64,20 @@ class HttpServer {
                                           const std::string& path);
 
  private:
-  void accept_loop();
+  // The accept thread reads listen_fd_/wake_pipe_ without the lifecycle
+  // lock: both are written only while no accept thread is live (start()
+  // before the spawn, stop() after the join), so the loop's reads cannot
+  // race. The analysis cannot see that protocol, hence the opt-out.
+  void accept_loop() DT_NO_THREAD_SAFETY_ANALYSIS;
   void serve_connection(int fd);
 
   HttpServerOptions options_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  /// Serialises start()/stop() lifecycle transitions.
+  Mutex lifecycle_mutex_;
+  int listen_fd_ DT_GUARDED_BY(lifecycle_mutex_) = -1;
+  int wake_pipe_[2] DT_GUARDED_BY(lifecycle_mutex_) = {-1, -1};
+  /// Written in start() before the accept thread exists; read-only after.
   int port_ = 0;
   std::thread thread_;
 };

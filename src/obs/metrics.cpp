@@ -62,14 +62,14 @@ double FixedHistogram::value_at_quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -77,7 +77,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 FixedHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                            double hi, std::int32_t n_buckets) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) {
     slot = std::make_unique<FixedHistogram>(lo, hi, n_buckets);
@@ -91,7 +91,7 @@ FixedHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)
@@ -119,12 +119,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 void MetricsRegistry::for_each_histogram(
     const std::function<void(const std::string&, const FixedHistogram&)>& fn)
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, h] : histograms_) fn(name, *h);
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -19,9 +19,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace dt::obs {
 
@@ -145,10 +147,13 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      DT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_
+      DT_GUARDED_BY(mutex_);
 };
 
 }  // namespace dt::obs

@@ -8,7 +8,7 @@ namespace dt::obs {
 
 bool ProgressReporter::poll(const std::function<std::string()>& render) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const double now = clock_.seconds();
     if (now - last_report_s_ < interval_) return false;
     last_report_s_ = now;
@@ -19,7 +19,7 @@ bool ProgressReporter::poll(const std::function<std::string()>& render) {
 
 void ProgressReporter::force(const std::function<std::string()>& render) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     last_report_s_ = clock_.seconds();
   }
   report(render);

@@ -10,8 +10,9 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 
 namespace dt::obs {
@@ -33,8 +34,8 @@ class ProgressReporter {
 
   double interval_;
   Stopwatch clock_;
-  std::mutex mutex_;
-  double last_report_s_ = 0.0;
+  Mutex mutex_;
+  double last_report_s_ DT_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace dt::obs

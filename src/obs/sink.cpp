@@ -54,12 +54,12 @@ JsonlSink::JsonlSink(std::unique_ptr<std::ostream> os) : os_(std::move(os)) {}
 
 void JsonlSink::write(const Event& event) {
   const std::string line = event_to_json(event);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   *os_ << line << '\n';
 }
 
 void JsonlSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   os_->flush();
 }
 
@@ -70,7 +70,7 @@ CsvSink::CsvSink(std::string base_path) : base_(std::move(base_path)) {
 }
 
 void CsvSink::write(const Event& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = streams_.find(event.type);
   if (it == streams_.end()) {
     Stream stream;
@@ -105,7 +105,7 @@ void CsvSink::write(const Event& event) {
 }
 
 void CsvSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [type, stream] : streams_) stream.file.flush();
 }
 

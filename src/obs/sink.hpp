@@ -13,11 +13,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace dt::obs {
 
@@ -83,8 +85,9 @@ class JsonlSink final : public Sink {
   void flush() override;
 
  private:
-  std::mutex mutex_;
-  std::unique_ptr<std::ostream> os_;
+  Mutex mutex_;
+  std::unique_ptr<std::ostream> os_ DT_GUARDED_BY(mutex_)
+      DT_PT_GUARDED_BY(mutex_);
 };
 
 class CsvSink final : public Sink {
@@ -104,9 +107,9 @@ class CsvSink final : public Sink {
     std::vector<std::string> columns;
   };
 
-  std::mutex mutex_;
-  std::string base_;
-  std::map<std::string, Stream> streams_;
+  Mutex mutex_;
+  std::string base_;  ///< immutable after construction
+  std::map<std::string, Stream> streams_ DT_GUARDED_BY(mutex_);
 };
 
 }  // namespace dt::obs

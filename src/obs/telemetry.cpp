@@ -23,7 +23,7 @@ void Telemetry::enable(const std::string& path) {
 
 void Telemetry::add_sink(std::unique_ptr<Sink> sink) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sinks_.push_back(std::move(sink));
   }
   TraceRecorder::global().set_enabled(true);
@@ -37,7 +37,7 @@ void Telemetry::disable() {
   if (enabled_.exchange(false, std::memory_order_relaxed))
     instrumentation_release();
   TraceRecorder::global().set_enabled(false);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& sink : sinks_) sink->flush();
   sinks_.clear();
 }
@@ -47,7 +47,7 @@ void Telemetry::emit(Event event) {
   event.fields.emplace(event.fields.begin(),
                        std::make_pair(std::string("ts"),
                                       FieldValue(iso8601_timestamp())));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& sink : sinks_) sink->write(event);
 }
 
@@ -105,7 +105,7 @@ void Telemetry::snapshot_metrics() {
 }
 
 void Telemetry::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& sink : sinks_) sink->flush();
 }
 

@@ -11,10 +11,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
@@ -64,8 +65,8 @@ class Telemetry {
   Telemetry() = default;
 
   std::atomic<bool> enabled_{false};
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Sink>> sinks_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Sink>> sinks_ DT_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> snapshot_seq_{0};
 };
 

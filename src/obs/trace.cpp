@@ -39,7 +39,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   auto& slot = t_bufs[this];
   if (!slot) {
     slot = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    MutexLock lock(buffers_mutex_);
     slot->thread_id = next_thread_id_++;
     buffers_.push_back(slot);
   }
@@ -48,7 +48,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 
 void TraceRecorder::record(SpanRecord record) {
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  MutexLock lock(buf.mutex);
   if (buf.spans.size() >= kMaxSpansPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -60,12 +60,12 @@ void TraceRecorder::record(SpanRecord record) {
 std::vector<SpanRecord> TraceRecorder::drain() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    MutexLock lock(buffers_mutex_);
     buffers = buffers_;
   }
   std::vector<SpanRecord> all;
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mutex);
+    MutexLock lock(buf->mutex);
     std::move(buf->spans.begin(), buf->spans.end(), std::back_inserter(all));
     buf->spans.clear();
   }

@@ -15,9 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace dt::obs {
 
@@ -62,9 +64,11 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;
+    Mutex mutex;
+    /// Assigned once, before the buffer is published in buffers_; read
+    /// by the owning thread only afterwards -- no guard needed.
     std::uint64_t thread_id = 0;
-    std::vector<SpanRecord> spans;
+    std::vector<SpanRecord> spans DT_GUARDED_BY(mutex);
   };
 
   ThreadBuffer& local_buffer();
@@ -72,9 +76,10 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> dropped_{0};
   std::int64_t epoch_ns_;  ///< steady-clock time at construction
-  std::mutex buffers_mutex_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint64_t next_thread_id_ = 0;
+  Mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      DT_GUARDED_BY(buffers_mutex_);
+  std::uint64_t next_thread_id_ DT_GUARDED_BY(buffers_mutex_) = 0;
 };
 
 /// RAII span: samples the clock on entry, records on exit. Inert (and

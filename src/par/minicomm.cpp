@@ -15,7 +15,7 @@ void Communicator::send_bytes(int dest, int tag,
   DT_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
   detail::Mailbox& mb = *ctx_->mailboxes[static_cast<std::size_t>(dest)];
   {
-    std::lock_guard<std::mutex> lock(mb.mutex);
+    MutexLock lock(mb.mutex);
     mb.messages.push_back(
         detail::Message{rank_, tag, {data.begin(), data.end()}});
   }
@@ -26,7 +26,7 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
   DT_CHECK_MSG(source >= 0 && source < size_,
                "recv from invalid rank " << source);
   detail::Mailbox& mb = *ctx_->mailboxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(mb.mutex);
+  MutexLock lock(mb.mutex);
   for (;;) {
     if (ctx_->aborted.load(std::memory_order_relaxed))
       throw Error("minicomm: peer rank aborted");
@@ -40,7 +40,9 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
       mb.messages.erase(it);
       return payload;
     }
-    mb.cv.wait_for(lock, std::chrono::milliseconds(50));
+    // Bounded wait: the abort flag (set by a dying peer) must be
+    // rechecked even if the matching notify was consumed elsewhere.
+    mb.cv.wait_for(mb.mutex, std::chrono::milliseconds(50));
   }
 }
 

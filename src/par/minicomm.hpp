@@ -17,15 +17,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace dt::par {
 
@@ -38,9 +39,9 @@ struct Message {
 };
 
 struct Mailbox {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Message> messages;
+  Mutex mutex;
+  CondVar cv;
+  std::deque<Message> messages DT_GUARDED_BY(mutex);
 };
 
 struct Context {

@@ -2,32 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/strfmt.hpp"
 #include "lattice/configuration.hpp"
 #include "validate/stats.hpp"
 
 namespace dt::validate {
 
 std::string BalanceReport::summary() const {
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "detailed balance: %s | states=%zu proposals=%llu "
-                "worst z=%.3g at pair (%zu,%zu) | pairs=%zu invalid=%llu "
-                "self=%llu off-space=%llu max dE err=%.3g",
-                pass ? "PASS" : "FAIL", n_states,
-                static_cast<unsigned long long>(n_proposals), worst_z,
-                worst_i, worst_j, n_pairs,
-                static_cast<unsigned long long>(n_invalid),
-                static_cast<unsigned long long>(n_self),
-                static_cast<unsigned long long>(n_off_space),
-                max_delta_energy_error);
-  return buf;
+  return strformat(
+      "detailed balance: %s | states=%zu proposals=%llu "
+      "worst z=%.3g at pair (%zu,%zu) | pairs=%zu invalid=%llu "
+      "self=%llu off-space=%llu max dE err=%.3g",
+      pass ? "PASS" : "FAIL", n_states,
+      static_cast<unsigned long long>(n_proposals), worst_z, worst_i,
+      worst_j, n_pairs, static_cast<unsigned long long>(n_invalid),
+      static_cast<unsigned long long>(n_self),
+      static_cast<unsigned long long>(n_off_space), max_delta_energy_error);
 }
 
 BalanceReport check_detailed_balance(

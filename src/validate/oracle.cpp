@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -12,7 +11,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/math.hpp"
+#include "common/strfmt.hpp"
 #include "lattice/sro.hpp"
 
 #ifdef _WIN32
@@ -43,20 +44,16 @@ std::uint64_t oracle_key(const lattice::EpiHamiltonian& ham,
   os << "dt-oracle-v1|" << lattice::to_string(lat.type()) << '|' << lat.nx()
      << 'x' << lat.ny() << 'x' << lat.nz() << "|species=" << ham.n_species()
      << "|shells=" << ham.n_shells() << '|';
-  char buf[40];
   for (int s = 0; s < ham.n_shells(); ++s)
     for (int a = 0; a < ham.n_species(); ++a)
-      for (int b = 0; b < ham.n_species(); ++b) {
-        std::snprintf(buf, sizeof buf, "%.17g,", ham.coupling(
+      for (int b = 0; b < ham.n_species(); ++b)
+        os << strformat("%.17g,", ham.coupling(
             s, static_cast<lattice::Species>(a),
             static_cast<lattice::Species>(b)));
-        os << buf;
-      }
   os << "|comp=";
   for (const auto c : composition) os << c << ',';
-  std::snprintf(buf, sizeof buf, "|q=%.17g|sro=%d", options.energy_quantum,
-                options.with_sro ? 1 : 0);
-  os << buf;
+  os << strformat("|q=%.17g|sro=%d", options.energy_quantum,
+                  options.with_sro ? 1 : 0);
   return fnv1a(0xcbf29ce484222325ULL, os.str());
 }
 
@@ -165,10 +162,8 @@ std::shared_ptr<const ExactOracle> ExactOracle::get(
   const std::filesystem::path dir = resolve_cache_dir(options);
   std::filesystem::path file;
   if (!dir.empty()) {
-    char name[40];
-    std::snprintf(name, sizeof name, "oracle-%016llx.txt",
-                  static_cast<unsigned long long>(key));
-    file = dir / name;
+    file = dir / strformat("oracle-%016llx.txt",
+                           static_cast<unsigned long long>(key));
     if (std::ifstream in(file); in.good()) {
       try {
         auto loaded = load(in);
@@ -179,8 +174,10 @@ std::shared_ptr<const ExactOracle> ExactOracle::get(
           memo.emplace(key, shared);
           return shared;
         }
-      } catch (const dt::Error&) {
+      } catch (const dt::Error& e) {
         // Corrupt / stale golden file: fall through and regenerate.
+        DT_LOG_WARN << "oracle: regenerating corrupt golden cache "
+                    << file.string() << ": " << e.what();
       }
     }
   }
@@ -308,18 +305,16 @@ double ExactOracle::mean_sro(double temperature) const {
 }
 
 void ExactOracle::save(std::ostream& os) const {
-  char buf[96];
   os << "dt-oracle v1\n";
-  std::snprintf(buf, sizeof buf, "key %016llx quantum %.17g with_sro %d\n",
-                static_cast<unsigned long long>(key_), quantum_,
-                with_sro_ ? 1 : 0);
-  os << buf << "levels " << levels_.size() << '\n';
+  os << strformat("key %016llx quantum %.17g with_sro %d\n",
+                  static_cast<unsigned long long>(key_), quantum_,
+                  with_sro_ ? 1 : 0);
+  os << "levels " << levels_.size() << '\n';
   for (const auto& level : levels_) {
-    std::snprintf(buf, sizeof buf, "%lld %.17g %.17g\n",
-                  static_cast<long long>(std::llround(level.energy /
-                                                      quantum_)),
-                  level.count, level.sro_sum);
-    os << buf;
+    os << strformat("%lld %.17g %.17g\n",
+                    static_cast<long long>(std::llround(level.energy /
+                                                        quantum_)),
+                    level.count, level.sro_sum);
   }
 }
 

@@ -1,0 +1,14 @@
+// Allowlist fixture: both violations below are suppressed by entries in
+// this case's allow.txt (one path-scoped, one symbol-scoped), so the
+// case must report nothing. No EXPECT-VIOLATION markers on purpose.
+#include <cstdio>
+#include <vector>
+
+void waived_report(double x) { std::printf("%g\n", x); }
+
+float waived_kernel(const float* x, int n) {
+  std::vector<float> scratch(4);
+  float acc = scratch[0];
+  for (int i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}

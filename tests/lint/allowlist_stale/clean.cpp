@@ -1,0 +1,3 @@
+// This file has no violations, so the allow.txt entry naming it is
+// stale -- the linter must exit with a config error, not success.
+int identity(int x) { return x; }

@@ -1,0 +1,4 @@
+// Positive fixture: header without #pragma once.
+// EXPECT-VIOLATION: header-hygiene
+
+inline int twice(int x) { return 2 * x; }

@@ -1,0 +1,4 @@
+// Negative fixture: properly guarded header.
+#pragma once
+
+inline int thrice(int x) { return 3 * x; }

@@ -1,0 +1,21 @@
+// Positive fixture: a hotlisted kernel that allocates and locks.
+#include <mutex>
+#include <vector>
+
+std::mutex g_mutex;
+
+float dirty_kernel(const float* x, int n) {
+  std::vector<float> scratch(16);  // EXPECT-VIOLATION: hot-path-purity
+  std::lock_guard<std::mutex> lock(g_mutex);  // EXPECT-VIOLATION: hot-path-purity
+  auto* extra = new float[4];  // EXPECT-VIOLATION: hot-path-purity
+  float acc = extra[0];
+  delete[] extra;
+  for (int i = 0; i < n; ++i) acc += x[i] + scratch[0];
+  return acc;
+}
+
+// Same constructs outside any hotlisted function: not violations.
+std::vector<float> warm_setup(int n) {
+  std::vector<float> workspace(static_cast<unsigned>(n));
+  return workspace;
+}

@@ -1,0 +1,16 @@
+// Negative fixture: a hotlisted kernel working purely in caller-provided
+// workspace -- reads/writes through pointers and references only.
+#include <vector>
+
+float clean_kernel(const float* x, float* workspace, int n) {
+  float acc = 0.0F;
+  for (int i = 0; i < n; ++i) {
+    workspace[i] = x[i] * x[i];
+    acc += workspace[i];
+  }
+  return acc;
+}
+
+void driver(std::vector<float>& workspace, const std::vector<float>& x) {
+  clean_kernel(x.data(), workspace.data(), static_cast<int>(x.size()));
+}

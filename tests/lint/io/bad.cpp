@@ -1,0 +1,11 @@
+// Positive fixture: console output from library code.
+#include <cstdio>
+#include <iostream>
+
+void report(int n, double x) {
+  std::printf("n=%d\n", n);  // EXPECT-VIOLATION: io-discipline
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", x);  // EXPECT-VIOLATION: io-discipline
+  std::cout << buf << '\n';  // EXPECT-VIOLATION: io-discipline
+  std::cerr << "done\n";  // EXPECT-VIOLATION: io-discipline
+}

@@ -1,0 +1,13 @@
+// Negative fixture: string streams and ostream parameters are fine;
+// the ban is on the printf family and process-wide console streams.
+#include <ostream>
+#include <sstream>
+#include <string>
+
+std::string render(int n, double x) {
+  std::ostringstream os;
+  os << "n=" << n << " x=" << x;
+  return std::move(os).str();
+}
+
+void save(std::ostream& os, const std::string& line) { os << line << '\n'; }

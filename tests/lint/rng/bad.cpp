@@ -1,0 +1,10 @@
+// Positive fixture: every ad-hoc randomness source must be flagged.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;             // EXPECT-VIOLATION: rng-discipline
+  std::mt19937 gen(rd());            // EXPECT-VIOLATION: rng-discipline
+  std::srand(42);                    // EXPECT-VIOLATION: rng-discipline
+  return std::rand() % 6;            // EXPECT-VIOLATION: rng-discipline
+}

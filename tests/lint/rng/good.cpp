@@ -1,0 +1,13 @@
+// Negative fixture: the sanctioned RNG path plus mentions of the banned
+// tokens inside comments and strings, which the linter must ignore.
+// A comment saying rand() or std::mt19937 is not a violation.
+#include <cstdint>
+
+const char* kDoc = "never call rand() or use std::random_device here";
+
+std::uint64_t next_state(std::uint64_t s) {
+  // xoshiro-style scramble, fed from the project RNG layer upstream.
+  s ^= s << 13;
+  s ^= s >> 7;
+  return s * 0x2545F4914F6CDD1DULL;
+}

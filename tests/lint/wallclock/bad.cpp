@@ -1,0 +1,14 @@
+// Positive fixture: wall-clock reads outside the timestamp layer.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+double wall_seconds() {
+  const auto t0 =
+      std::chrono::system_clock::now();  // EXPECT-VIOLATION: wallclock-discipline
+  const std::time_t t = std::time(nullptr);  // EXPECT-VIOLATION: wallclock-discipline
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // EXPECT-VIOLATION: wallclock-discipline
+  return static_cast<double>(t) +
+         std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,12 @@
+// Negative fixture: the steady clock is the sanctioned time source for
+// measurement, and identifiers merely containing "time" are fine.
+#include <chrono>
+
+double elapsed_s(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count();
+}
+
+double runtime(double lifetime, double downtime) {
+  return lifetime - downtime;
+}
