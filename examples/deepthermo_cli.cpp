@@ -47,6 +47,15 @@ condition_on_energy = false
 vae_hidden = 64
 vae_latent = 8
 vae_epochs = 12
+# decode-ahead depth per walker (latents per decoder GEMM; 0 = library
+# default). Pure performance knobs -- sampled sequences are bitwise
+# identical for any setting (see README "Performance tuning").
+decode_batch = 0
+# coalesce walker decode refills into fused cross-walker GEMMs
+decode_plane = true
+# max microseconds a plane leader waits for stragglers before serving a
+# partial batch
+decode_plane_window_us = 200
 
 # production phase (0 = off)
 production_sweeps = 0
@@ -158,6 +167,10 @@ int main(int argc, char** argv) {
   opts.vae.hidden = cfg.get_int("vae_hidden", 64);
   opts.vae.latent = cfg.get_int("vae_latent", 8);
   opts.vae.epochs = static_cast<int>(cfg.get_int("vae_epochs", 12));
+  opts.vae_decode_batch =
+      static_cast<std::int32_t>(cfg.get_int("decode_batch", 0));
+  opts.decode_plane = cfg.get_bool("decode_plane", true);
+  opts.decode_plane_window_us = cfg.get_int("decode_plane_window_us", 200);
   opts.production_sweeps = cfg.get_int("production_sweeps", 0);
   opts.checkpoint_dir = cfg.get_string("checkpoint_dir", "");
   opts.checkpoint_interval_rounds = cfg.get_int("checkpoint_interval", 25);

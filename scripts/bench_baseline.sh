@@ -39,8 +39,11 @@ rm -f "${f4_json}"
   --benchmark_out="${micro_json}" --benchmark_out_format=json
 
 # F4 proposal throughput at N = 2*cells^3 sites (appends JSON lines).
+# --walkers=8 also records the decode-plane on/off aggregate table
+# (Table F4d) at W in {1, 4, 8}.
 "${build_dir}/bench/bench_f4_proposals" \
   --cells="${cells}" --budget_sweeps="${budget_sweeps}" \
+  --walkers=8 \
   --json="${f4_json}"
 
 python3 - "$repo_root" "$micro_json" "$f4_json" "$cells" <<'PY'
@@ -80,11 +83,27 @@ commit = subprocess.run(
     ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
     capture_output=True, text=True).stdout.strip() or "unknown"
 
+# Headline decode-plane numbers (Table F4d): per walker count W, the
+# plane-on proposal latency, fused-GEMM batching achieved, and the
+# packed-weight cache hit rate. Single-core caveat: with fewer cores
+# than walkers both modes contend for the same ALUs, so `speedup`
+# measures coalescing overhead/benefit at the ALU limit, not the
+# multi-core fused-GEMM win (see DESIGN.md "Cross-walker decode plane").
+decode_plane = {}
+for walkers, row in f4.get("_walkers", {}).items():
+    decode_plane[f"W{walkers}"] = {  # table cells arrive as strings
+        "us_per_proposal_on": round(float(row["us_per_prop_on"]), 2),
+        "rows_per_gemm": round(float(row["rows_per_gemm"]), 2),
+        "pack_cache_hit_rate": round(float(row["pack_hit_rate"]), 4),
+        "speedup_on_vs_off": round(float(row["speedup"]), 3),
+    }
+
 out = {
     "schema": 1,
     "commit": commit,
     "cells": int(cells),
     "micro": dict(sorted(micro.items())),
+    "decode_plane": decode_plane,
     "f4": f4,
 }
 path = f"{repo_root}/BENCH_baseline.json"

@@ -142,7 +142,7 @@ stage_tsan() {
   fi
   local tsan_dir="${repo_root}/build-tsan"
   local targets=(test_metrics test_trace test_http_obs
-                 test_minicomm test_rewl test_ddp)
+                 test_minicomm test_rewl test_ddp test_decode_plane)
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDT_ENABLE_TSAN=ON >/dev/null

@@ -10,6 +10,7 @@
 #include "common/math.hpp"
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
+#include "core/decode_plane.hpp"
 #include "mc/metropolis.hpp"
 #include "mc/multicanonical.hpp"
 #include "obs/health.hpp"
@@ -344,6 +345,21 @@ DeepThermoResult Framework::run() {
   const int n_ranks = options_.rewl.total_ranks();
   const bool skip_rewl = resuming && resume_phase == Phase::kProduction;
 
+  // Shared cross-walker decode plane: one serving VAE replica loaded
+  // from the same pretrained bytes as every walker's own, so fused and
+  // per-walker decodes are bitwise interchangeable. Declared before the
+  // rank states so it outlives the kernels that detach from it.
+  std::shared_ptr<DecodePlane> plane;
+  if (options_.use_vae && options_.decode_plane && !skip_rewl) {
+    auto plane_vae =
+        std::make_shared<nn::Vae>(make_vae_options(), options_.seed);
+    std::istringstream in(pretrained_weights_, std::ios::binary);
+    plane_vae->load(in);
+    DecodePlane::Options plane_opts;
+    plane_opts.window_us = options_.decode_plane_window_us;
+    plane = std::make_shared<DecodePlane>(std::move(plane_vae), plane_opts);
+  }
+
   // Per-rank sampling state, created on each rank's own thread by the
   // factory and read back after run_rewl joins them.
   struct RankState {
@@ -400,6 +416,7 @@ DeepThermoResult Framework::run() {
       st.kernel->vae_kernel().set_condition(
           {static_cast<float>(normalized_energy(centre))});
     }
+    if (plane != nullptr) st.kernel->attach_decode_plane(plane);
     return st.kernel;
   };
 
@@ -423,8 +440,24 @@ DeepThermoResult Framework::run() {
                      options_.vae.batch_size);
         // The kernel may hold probabilities decoded from the old weights;
         // stale entries would make sampling depend on the decode batch
-        // size and break bit-exact resume.
+        // size and break bit-exact resume. With a plane this also cancels
+        // the walker's in-flight prefetch.
         st.kernel->vae_kernel().invalidate_decode_cache();
+        if (plane != nullptr) {
+          // Refresh the plane's serving replica under the header's
+          // contract: every rank has cancelled (above; ddp_fit makes this
+          // branch collective), barrier so the plane is quiescent, rank 0
+          // pushes its post-fit weights (all replicas are identical after
+          // the allreduce), barrier so nobody decodes before the refresh.
+          comm.barrier();
+          if (comm.rank() == 0) {
+            std::ostringstream ws(std::ios::binary);
+            st.vae->save(ws);
+            std::istringstream rs(std::move(ws).str(), std::ios::binary);
+            plane->refresh_weights(rs);
+          }
+          comm.barrier();
+        }
       }
     };
   }
@@ -485,6 +518,17 @@ DeepThermoResult Framework::run() {
             st.rounds = read_pod<std::int64_t>(is);
           }
           st.kernel->load_state(is);
+          // The checkpointed replica may carry post-retrain weights; the
+          // plane was built from the pretrained bytes, so re-sync it from
+          // rank 0's restored replica (all replicas are identical). Safe
+          // here: no walker samples before rank 0 passes the first
+          // top-of-round broadcast, which happens after this hook.
+          if (plane != nullptr && rank == 0) {
+            std::ostringstream ws(std::ios::binary);
+            st.vae->save(ws);
+            std::istringstream rs(std::move(ws).str(), std::ios::binary);
+            plane->refresh_weights(rs);
+          }
         };
       }
       rewl_ckpt_ptr = &rewl_ckpt;

@@ -91,6 +91,15 @@ struct DeepThermoOptions {
   /// performance knob -- the proposal sequence is identical for any
   /// value (see core/vae_proposal.hpp, stream discipline).
   std::int32_t vae_decode_batch = 0;
+  /// Route every walker's decode-ahead refill through one shared
+  /// cross-walker decode plane (see core/decode_plane.hpp): refills
+  /// coalesce into fused multi-walker GEMMs against a packed-weight
+  /// cache, with double-buffered prefetch per walker. Pure performance
+  /// knob -- proposals are bitwise identical either way.
+  bool decode_plane = true;
+  /// Max microseconds a plane leader waits for stragglers before serving
+  /// a partial batch (see DecodePlane::Options::window_us).
+  std::int64_t decode_plane_window_us = 200;
   /// Sparse-delta audit cadence for the VAE kernel: cross-check the
   /// changed-site energy walk against total_energy every this many
   /// proposals (0 disables; < 0: keep the library default).

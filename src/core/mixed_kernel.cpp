@@ -64,7 +64,13 @@ std::vector<std::pair<std::string, double>> DeepThermoProposal::telemetry()
   return {{"local_proposed", static_cast<double>(local_stats_.proposed)},
           {"local_accept", local_stats_.acceptance_rate()},
           {"vae_proposed", static_cast<double>(vs.proposed)},
-          {"vae_accept", vs.acceptance_rate()}};
+          {"vae_accept", vs.acceptance_rate()},
+          // Decode-plane wait telemetry (zeros when no plane attached):
+          // cumulative ms this walker spent blocked on fused decodes and
+          // how many refills blocked, so /status can surface a walker
+          // starved by an oversized batching window.
+          {"vae_decode_wait_ms", 1e3 * vae_.decode_wait_seconds()},
+          {"vae_decode_waits", static_cast<double>(vae_.decode_waits())}};
 }
 
 }  // namespace dt::core

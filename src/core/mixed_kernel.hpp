@@ -47,6 +47,13 @@ class DeepThermoProposal final : public mc::Proposal {
   [[nodiscard]] VaeProposal& vae_kernel() { return vae_; }
   [[nodiscard]] double global_fraction() const { return global_fraction_; }
 
+  /// Route the VAE component's decode refills through the shared
+  /// cross-walker decode plane (see core/decode_plane.hpp); nullptr
+  /// detaches.
+  void attach_decode_plane(std::shared_ptr<DecodePlane> plane) {
+    vae_.attach_decode_plane(std::move(plane));
+  }
+
   /// Checkpoint the kernel's behavioural state: the VAE component's
   /// decode-ahead ordinal (required for bit-exact resume) plus the
   /// per-component stats.

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "core/decode_plane.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::core {
@@ -25,6 +26,14 @@ constexpr std::uint64_t kDrawsPerNormal = 4;
 
 constexpr std::uint32_t kStateMagic = 0x31465056u;  // "VPF1"
 
+/// The derived latent-stream key for a walker's physics-stream key --
+/// shared by the local refill path and every plane request, so the plane
+/// regenerates exactly the z sequence the walker itself would draw.
+std::array<std::uint32_t, 2> latent_key_of(
+    const std::array<std::uint32_t, 2>& physics_key) {
+  return {physics_key[0] ^ kLatentKeyTag0, physics_key[1] ^ kLatentKeyTag1};
+}
+
 }  // namespace
 
 VaeProposal::VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
@@ -42,6 +51,54 @@ VaeProposal::VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
   delta_full_ = &metrics.counter("kernel.vae.delta.full");
   audit_checks_ = &metrics.counter("kernel.vae.audit.checks");
   audit_failures_ = &metrics.counter("kernel.vae.audit.failures");
+}
+
+VaeProposal::~VaeProposal() {
+  if (plane_ != nullptr) {
+    if (prefetch_pending_) plane_->cancel(plane_slot_);
+    plane_->detach(plane_slot_);
+  }
+}
+
+void VaeProposal::attach_decode_plane(std::shared_ptr<DecodePlane> plane) {
+  if (plane_ != nullptr) {
+    if (prefetch_pending_) {
+      plane_->cancel(plane_slot_);
+      prefetch_pending_ = false;
+    }
+    plane_->detach(plane_slot_);
+    plane_slot_ = -1;
+  }
+  plane_ = std::move(plane);
+  if (plane_ != nullptr) {
+    const auto& mine = vae_->options();
+    const auto& theirs = plane_->vae().options();
+    DT_CHECK_MSG(mine.n_sites == theirs.n_sites &&
+                     mine.n_species == theirs.n_species &&
+                     mine.latent == theirs.latent &&
+                     mine.hidden == theirs.hidden &&
+                     mine.condition_dim == theirs.condition_dim,
+                 "attach_decode_plane: plane VAE geometry differs from the "
+                 "walker's");
+    plane_slot_ = plane_->attach();
+  }
+  // Buffered rows were decoded by the other path; by the weight-identity
+  // contract they are bitwise equal, but dropping them keeps the cache's
+  // provenance single-sourced (and they regenerate bit-exactly anyway).
+  invalidate_decode_cache();
+}
+
+void VaeProposal::invalidate_decode_cache() {
+  if (plane_ != nullptr && prefetch_pending_) {
+    plane_->cancel(plane_slot_);
+    prefetch_pending_ = false;
+  }
+  // Clears the last_probs() span as well (it is derived from
+  // buffer_pos_): after an invalidation the "probs that produced the
+  // most recent proposal" are gone by definition -- handing out stale
+  // pre-invalidation rows would let a detailed-balance cross-check read
+  // probabilities from weights that no longer exist.
+  buffer_pos_ = buffer_fill_ = 0;
 }
 
 double VaeProposal::sequential_log_density_scratch(
@@ -117,8 +174,9 @@ std::span<const float> VaeProposal::last_probs() const {
   const auto slot_size =
       static_cast<std::size_t>(vae_->options().n_sites) *
       static_cast<std::size_t>(vae_->options().n_species);
-  return {&probs_buffer_[static_cast<std::size_t>(buffer_pos_ - 1) *
-                         slot_size],
+  return {&probs_buffers_[static_cast<std::size_t>(active_buf_)]
+                         [static_cast<std::size_t>(buffer_pos_ - 1) *
+                          slot_size],
           slot_size};
 }
 
@@ -126,19 +184,44 @@ void VaeProposal::refill(const std::array<std::uint32_t, 2>& physics_key) {
   const auto latent = static_cast<std::size_t>(vae_->latent_dim());
   const auto k = static_cast<std::size_t>(decode_batch_);
 
-  // Latent ordinal t occupies the absolute draw window
-  // [t * 4*latent, (t+1) * 4*latent) of the derived stream, so the z
-  // sequence is a pure function of t -- independent of the batch size
-  // and of where checkpoints fell (see the header's stream discipline).
-  mc::Rng latent_rng;
-  latent_rng.set_key(
-      {physics_key[0] ^ kLatentKeyTag0, physics_key[1] ^ kLatentKeyTag1});
-  latent_rng.seek(served_ * kDrawsPerNormal * latent);
+  if (plane_ != nullptr) {
+    // Plane path: decode the next K rows into the INACTIVE buffer and
+    // swap, so the just-drained active buffer (which still backs
+    // last_probs()) is never overwritten mid-hand-out. Usually the
+    // request is already in flight (prefetched when this buffer's first
+    // row was served) and wait() just collects it.
+    auto& next = probs_buffers_[static_cast<std::size_t>(1 - active_buf_)];
+    if (!(prefetch_pending_ && prefetch_first_ == served_)) {
+      // No usable prefetch (first refill, or the cache was invalidated
+      // since): submit synchronously. Any stale prefetch was already
+      // cancelled by invalidate_decode_cache().
+      DT_CHECK(!prefetch_pending_);
+      next.resize(k * static_cast<std::size_t>(vae_->input_dim()));
+      plane_->submit(plane_slot_, latent_key_of(physics_key),
+                     served_ * kDrawsPerNormal * latent, decode_batch_,
+                     condition_, next.data());
+    }
+    decode_wait_seconds_ += plane_->wait(plane_slot_);
+    ++decode_waits_;
+    prefetch_pending_ = false;
+    active_buf_ = 1 - active_buf_;
+  } else {
+    // Local path: latent ordinal t occupies the absolute draw window
+    // [t * 4*latent, (t+1) * 4*latent) of the derived stream, so the z
+    // sequence is a pure function of t -- independent of the batch size
+    // and of where checkpoints fell (see the header's stream
+    // discipline). The plane regenerates exactly these draws from
+    // (key, first_draw), which is why both paths are bitwise equal.
+    mc::Rng latent_rng;
+    latent_rng.set_key(latent_key_of(physics_key));
+    latent_rng.seek(served_ * kDrawsPerNormal * latent);
 
-  z_batch_.resize(k * latent);
-  for (auto& v : z_batch_) v = static_cast<float>(normal01(latent_rng));
-  probs_buffer_ = vae_->decode_probs_batch(
-      z_batch_, static_cast<std::int64_t>(decode_batch_), condition_);
+    z_batch_.resize(k * latent);
+    for (auto& v : z_batch_) v = static_cast<float>(normal01(latent_rng));
+    probs_buffers_[static_cast<std::size_t>(active_buf_)] =
+        vae_->decode_probs_batch(
+            z_batch_, static_cast<std::int64_t>(decode_batch_), condition_);
+  }
   buffer_fill_ = decode_batch_;
   buffer_pos_ = 0;
   if (obs::Telemetry::instance().enabled()) {
@@ -159,7 +242,8 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
   // stream, so the physics stream below only sees sampling uniforms).
   if (buffer_pos_ >= buffer_fill_) refill(rng.key());
   const float* probs =
-      &probs_buffer_[static_cast<std::size_t>(buffer_pos_) * n * s];
+      &probs_buffers_[static_cast<std::size_t>(active_buf_)]
+                     [static_cast<std::size_t>(buffer_pos_) * n * s];
 
   // Save the current state for revert and for the reverse density.
   const auto occ = cfg.occupancy();
@@ -314,6 +398,23 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
     delta_changed_sites_->add(n_changed);
   }
 
+  // Double-buffered prefetch: the first served row pinned last_probs()
+  // into the active buffer, so the inactive half is now free -- enqueue
+  // its refill (ordinals [first_of_active + K, first_of_active + 2K))
+  // while the remaining K-1 rows are served. Not submitted at pos == 0
+  // because the pre-swap buffer was still handing out its last row then.
+  if (plane_ != nullptr && buffer_pos_ == 1 && !prefetch_pending_) {
+    const auto latent = static_cast<std::size_t>(vae_->latent_dim());
+    auto& next = probs_buffers_[static_cast<std::size_t>(1 - active_buf_)];
+    next.resize(static_cast<std::size_t>(decode_batch_) *
+                static_cast<std::size_t>(vae_->input_dim()));
+    prefetch_first_ = served_ - 1 + static_cast<std::uint64_t>(buffer_fill_);
+    plane_->submit(plane_slot_, latent_key_of(rng.key()),
+                   prefetch_first_ * kDrawsPerNormal * latent, decode_batch_,
+                   condition_, next.data());
+    prefetch_pending_ = true;
+  }
+
   mc::ProposalResult result;
   result.valid = true;
   result.delta_energy = delta_energy;
@@ -325,16 +426,16 @@ void VaeProposal::set_condition(std::vector<float> condition) {
   DT_CHECK_MSG(static_cast<std::int32_t>(condition.size()) ==
                    vae_->options().condition_dim,
                "condition size must equal the VAE's condition_dim");
+  // Cancel first: an in-flight plane prefetch reads condition_ by
+  // pointer, so it must drain before the vector is reassigned.
+  invalidate_decode_cache();
   condition_ = std::move(condition);
-  // Decoded probabilities depend on the condition; drop the cache (the
-  // latent ordinals are untouched, so the z sequence is unaffected).
-  buffer_pos_ = buffer_fill_ = 0;
 }
 
 void VaeProposal::set_decode_batch(std::int32_t k) {
   DT_CHECK_MSG(k >= 1, "decode batch must be >= 1");
+  invalidate_decode_cache();  // also cancels a prefetch with the old K
   decode_batch_ = k;
-  buffer_pos_ = buffer_fill_ = 0;
 }
 
 void VaeProposal::save_state(std::ostream& os) const {
@@ -348,7 +449,7 @@ void VaeProposal::load_state(std::istream& is) {
                "VaeProposal::load_state: bad magic");
   served_ = read_pod<std::uint64_t>(is);
   stats_ = read_pod<VaeProposalStats>(is);
-  buffer_pos_ = buffer_fill_ = 0;  // cache; regenerated on demand
+  invalidate_decode_cache();  // cache; regenerated on demand
 }
 
 void VaeProposal::revert(Configuration& cfg) {

@@ -66,6 +66,8 @@
 
 namespace dt::core {
 
+class DecodePlane;
+
 struct VaeProposalStats {
   std::uint64_t proposed = 0;
   std::uint64_t reverted = 0;
@@ -97,6 +99,7 @@ class VaeProposal final : public mc::Proposal {
   /// n_sites/n_species must match the configurations sampled.
   VaeProposal(const lattice::EpiHamiltonian& hamiltonian,
               std::shared_ptr<nn::Vae> vae);
+  ~VaeProposal() override;
 
   mc::ProposalResult propose(lattice::Configuration& cfg,
                              double current_energy, mc::Rng& rng) override;
@@ -114,12 +117,36 @@ class VaeProposal final : public mc::Proposal {
   /// Invalidates any decoded-ahead buffer.
   void set_condition(std::vector<float> condition);
 
+  /// Route decode-ahead refills through the shared cross-walker decode
+  /// plane instead of this walker's own decode_probs_batch call, and
+  /// prefetch the NEXT buffer while the current one is being served
+  /// (double buffering: the refill for buffer B is enqueued as soon as
+  /// the first row of buffer A has been served, so by the time A drains
+  /// the plane has usually already decoded B in someone's fused batch).
+  /// The plane's serving VAE must be bitwise weight-identical to this
+  /// walker's (framework contract). Pass nullptr to detach and fall back
+  /// to per-walker decoding. Either way the proposal sequence is
+  /// unchanged, bitwise (pinned in test_decode_plane).
+  void attach_decode_plane(std::shared_ptr<DecodePlane> plane);
+  [[nodiscard]] bool plane_attached() const { return plane_ != nullptr; }
+
+  /// Cumulative seconds propose() spent blocked in DecodePlane::wait()
+  /// (including time spent serving as leader) and the number of such
+  /// waits -- the walker's decode-wait telemetry.
+  [[nodiscard]] double decode_wait_seconds() const {
+    return decode_wait_seconds_;
+  }
+  [[nodiscard]] std::uint64_t decode_waits() const { return decode_waits_; }
+
   /// Drop the decoded-ahead probabilities. MUST be called whenever the
   /// shared VAE's weights change under the kernel (e.g. after a mid-run
   /// ddp_fit refresh): buffered probs decoded from the old weights would
   /// otherwise survive the refresh, making the sampled sequence depend
   /// on K and breaking bit-exact resume. Latent ordinals are untouched.
-  void invalidate_decode_cache() { buffer_pos_ = buffer_fill_ = 0; }
+  /// Also cancels any in-flight plane prefetch and clears the
+  /// last_probs() span -- stale pre-invalidation rows must not survive
+  /// as "the probs that produced the most recent proposal".
+  void invalidate_decode_cache();
 
   /// Decode-ahead depth K (>= 1; 1 recovers per-proposal decoding).
   /// Changing K never changes the proposal sequence -- see the stream
@@ -179,12 +206,24 @@ class VaeProposal final : public mc::Proposal {
   std::vector<float> condition_;      // fixed decoder condition
 
   // Decode-ahead buffer (cache; reconstructible from served_ alone).
+  // Double-buffered: rows are served from probs_buffers_[active_buf_]
+  // while the plane prefetch decodes into the other half, so
+  // last_probs() stays valid across a refill boundary.
   std::int32_t decode_batch_ = kDefaultDecodeBatch;
   std::uint64_t served_ = 0;          // proposals served == next ordinal
   std::int32_t buffer_pos_ = 0;       // next unserved slot
   std::int32_t buffer_fill_ = 0;      // decoded slots (0 == invalid)
   std::vector<float> z_batch_;        // K * latent scratch
-  std::vector<float> probs_buffer_;   // K * n_sites * n_species
+  std::array<std::vector<float>, 2> probs_buffers_;  // K*n_sites*n_species
+  int active_buf_ = 0;
+
+  // Cross-walker decode plane (optional; see attach_decode_plane).
+  std::shared_ptr<DecodePlane> plane_;
+  int plane_slot_ = -1;
+  bool prefetch_pending_ = false;     // next buffer submitted to the plane
+  std::uint64_t prefetch_first_ = 0;  // first ordinal of that buffer
+  double decode_wait_seconds_ = 0.0;
+  std::uint64_t decode_waits_ = 0;
 
   // Hot-path scratch, hoisted out of propose().
   std::vector<double> remaining_;     // species budget (n_species)

@@ -176,9 +176,6 @@ std::vector<float> Vae::decode_probs_batch(std::span<const float> z,
                    options_.condition_dim,
                "decode_probs_batch(): condition size must equal "
                "condition_dim");
-  // Sampling-only path: skip tape construction entirely.
-  const tensor::NoGradGuard no_grad;
-
   const std::int64_t in_dim = options_.latent + options_.condition_dim;
   std::vector<float> zin(static_cast<std::size_t>(batch * in_dim));
   for (std::int64_t r = 0; r < batch; ++r) {
@@ -189,19 +186,33 @@ std::vector<float> Vae::decode_probs_batch(std::span<const float> z,
                 static_cast<std::size_t>(options_.condition_dim),
                 row + options_.latent);
   }
-  const Tensor zt = Tensor::from_data({batch, in_dim}, std::move(zin));
+  std::vector<float> probs(static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(input_dim()));
+  decode_probs_rows(zin, batch, probs.data());
+  return probs;
+}
+
+void Vae::decode_probs_rows(std::span<const float> zc, std::int64_t rows,
+                            float* out) {
+  const std::int64_t in_dim = options_.latent + options_.condition_dim;
+  DT_CHECK(rows >= 1);
+  DT_CHECK_MSG(static_cast<std::int64_t>(zc.size()) == rows * in_dim,
+               "decode_probs_rows(): zc size must be rows * "
+               "(latent + condition_dim)");
+  // Sampling-only path: skip tape construction entirely.
+  const tensor::NoGradGuard no_grad;
+  const Tensor zt = Tensor::from_data(
+      {rows, in_dim}, std::vector<float>(zc.begin(), zc.end()));
   const Tensor logits = decoder_->forward(zt);
   const auto& lv = logits.data();
 
   const auto s = static_cast<std::size_t>(options_.n_species);
-  const auto blocks =
-      static_cast<std::size_t>(batch) *
-      static_cast<std::size_t>(options_.n_sites);
+  const auto blocks = static_cast<std::size_t>(rows) *
+                      static_cast<std::size_t>(options_.n_sites);
   // Mixing with the uniform floor keeps every species reachable
   // (irreducibility) and bounds the log-density in the acceptance rule.
   const float one_minus_floor = 1.0f - options_.prob_floor;
   const float floor_each = options_.prob_floor / static_cast<float>(s);
-  std::vector<float> probs(lv.size());
   if (s == 4) {
     // Quaternary fast path (NbMoTaW is the paper's workload): one fused
     // pass, everything in registers. detail::vec_expf is branch-free
@@ -209,7 +220,7 @@ std::vector<float> Vae::decode_probs_batch(std::span<const float> z,
     // where a std::exp call would serialise it.
     for (std::size_t site = 0; site < blocks; ++site) {
       const float* block = &lv[site * 4];
-      float* out = &probs[site * 4];
+      float* orow = out + site * 4;
       const float m01 = block[0] < block[1] ? block[1] : block[0];
       const float m23 = block[2] < block[3] ? block[3] : block[2];
       const float hi = m01 < m23 ? m23 : m01;
@@ -218,15 +229,15 @@ std::vector<float> Vae::decode_probs_batch(std::span<const float> z,
       const float e2 = detail::vec_expf(block[2] - hi);
       const float e3 = detail::vec_expf(block[3] - hi);
       const float scale = one_minus_floor / (e0 + e1 + e2 + e3);
-      out[0] = scale * e0 + floor_each;
-      out[1] = scale * e1 + floor_each;
-      out[2] = scale * e2 + floor_each;
-      out[3] = scale * e3 + floor_each;
+      orow[0] = scale * e0 + floor_each;
+      orow[1] = scale * e1 + floor_each;
+      orow[2] = scale * e2 + floor_each;
+      orow[3] = scale * e3 + floor_each;
     }
-    return probs;
+    return;
   }
   // Generic species count: three flat passes so the exp pass -- the
-  // decode hot spot at batch * n_sites * n_species elements -- still
+  // decode hot spot at rows * n_sites * n_species elements -- still
   // vectorises even though s is a runtime value.
   std::vector<float> him(lv.size());  // per-site max, replicated per entry
   for (std::size_t site = 0; site < blocks; ++site) {
@@ -236,16 +247,15 @@ std::vector<float> Vae::decode_probs_batch(std::span<const float> z,
     for (std::size_t k = 0; k < s; ++k) him[site * s + k] = hi;
   }
   for (std::size_t i = 0; i < lv.size(); ++i)
-    probs[i] = detail::vec_expf(lv[i] - him[i]);
+    out[i] = detail::vec_expf(lv[i] - him[i]);
   for (std::size_t site = 0; site < blocks; ++site) {
-    float* block = &probs[site * s];
+    float* block = out + site * s;
     float zsum = 0.0f;
     for (std::size_t k = 0; k < s; ++k) zsum += block[k];
     const float scale = one_minus_floor / zsum;
     for (std::size_t k = 0; k < s; ++k)
       block[k] = scale * block[k] + floor_each;
   }
-  return probs;
 }
 
 std::vector<float> Vae::encode_mean(std::span<const float> onehot,

@@ -89,6 +89,19 @@ class Vae {
       std::span<const float> z, std::int64_t batch,
       std::span<const float> condition = {});
 
+  /// Row-wise batched decode for the cross-walker decode plane: `zc`
+  /// holds `rows` decoder input rows back to back, each already laid out
+  /// as [z (latent) | condition (condition_dim)] -- unlike
+  /// decode_probs_batch, every row carries its OWN condition, so one
+  /// fused GEMM can serve walkers pinned to different energy windows.
+  /// Writes rows * n_sites * n_species probabilities to `out` (caller
+  /// allocated). Row r is bitwise identical to decode_probs_batch row r
+  /// for the same z and condition, for any row count or composition
+  /// (row-independent GEMM accumulation + per-site softmax; pinned in
+  /// test_decode_plane).
+  void decode_probs_rows(std::span<const float> zc, std::int64_t rows,
+                         float* out);
+
   /// Posterior mean of the encoder for one one-hot configuration
   /// (diagnostics; length latent).
   [[nodiscard]] std::vector<float> encode_mean(

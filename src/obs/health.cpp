@@ -97,6 +97,10 @@ void HealthRegistry::publish(const std::shared_ptr<WalkerHealthCell>& cell,
                            std::memory_order_relaxed);
   c.vae_proposed.store(sample.vae_proposed, std::memory_order_relaxed);
   c.vae_acceptance.store(sample.vae_acceptance, std::memory_order_relaxed);
+  c.vae_decode_wait_ms.store(sample.vae_decode_wait_ms,
+                             std::memory_order_relaxed);
+  c.vae_decode_waits.store(sample.vae_decode_waits,
+                           std::memory_order_relaxed);
   c.converged.store(sample.converged, std::memory_order_relaxed);
   c.last_publish_s.store(now, std::memory_order_relaxed);
 
@@ -210,6 +214,9 @@ HealthSnapshot HealthRegistry::snapshot() const {
     w.local_acceptance = c.local_acceptance.load(std::memory_order_relaxed);
     w.vae_proposed = c.vae_proposed.load(std::memory_order_relaxed);
     w.vae_acceptance = c.vae_acceptance.load(std::memory_order_relaxed);
+    w.vae_decode_wait_ms =
+        c.vae_decode_wait_ms.load(std::memory_order_relaxed);
+    w.vae_decode_waits = c.vae_decode_waits.load(std::memory_order_relaxed);
     w.converged = c.converged.load(std::memory_order_relaxed);
     w.stalled = c.stalled.load(std::memory_order_relaxed);
     w.seconds_since_improve =

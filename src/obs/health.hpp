@@ -53,6 +53,10 @@ struct alignas(64) WalkerHealthCell {
   std::atomic<double> local_acceptance{0.0};
   std::atomic<std::uint64_t> vae_proposed{0};
   std::atomic<double> vae_acceptance{0.0};
+  /// Cumulative ms blocked in DecodePlane::wait and the number of such
+  /// waits (0 when no decode plane is attached).
+  std::atomic<double> vae_decode_wait_ms{0.0};
+  std::atomic<std::uint64_t> vae_decode_waits{0};
   std::atomic<bool> converged{false};
   std::atomic<bool> stalled{false};
   /// Registry-clock time of the last flatness improvement (stage resets
@@ -96,6 +100,8 @@ struct WalkerHealthSample {
   double local_acceptance = 0.0;
   std::uint64_t vae_proposed = 0;
   double vae_acceptance = 0.0;
+  double vae_decode_wait_ms = 0.0;
+  std::uint64_t vae_decode_waits = 0;
   bool converged = false;
 };
 
@@ -119,6 +125,8 @@ struct HealthSnapshot {
     double local_acceptance = 0.0;
     std::uint64_t vae_proposed = 0;
     double vae_acceptance = 0.0;
+    double vae_decode_wait_ms = 0.0;
+    std::uint64_t vae_decode_waits = 0;
     bool converged = false;
     bool stalled = false;
     double seconds_since_improve = 0.0;

@@ -60,6 +60,8 @@ std::string walker_json(const HealthSnapshot::Walker& w) {
       .field("local_acceptance", w.local_acceptance)
       .field("vae_proposed", w.vae_proposed)
       .field("vae_acceptance", w.vae_acceptance)
+      .field("vae_decode_wait_ms", w.vae_decode_wait_ms)
+      .field("vae_decode_waits", w.vae_decode_waits)
       .field("converged", w.converged)
       .field("stalled", w.stalled)
       .field("seconds_since_improve", w.seconds_since_improve)
@@ -109,6 +111,26 @@ std::string status_json() {
       });
   spans += ']';
 
+  // Cross-walker decode plane coalescing summary, straight from the
+  // plane's registry metrics (zeros when the plane is off or idle).
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::uint64_t plane_batches =
+      reg.counter("decode_plane.batches").value();
+  const std::uint64_t plane_rows = reg.counter("decode_plane.rows").value();
+  JsonWriter plane;
+  plane.field("attached", reg.gauge("decode_plane.attached").value())
+      .field("requests", reg.counter("decode_plane.requests").value())
+      .field("batches", plane_batches)
+      .field("rows", plane_rows)
+      .field("coalesced_requests",
+             reg.counter("decode_plane.coalesced").value())
+      .field("rows_per_batch",
+             plane_batches == 0 ? 0.0
+                                : static_cast<double>(plane_rows) /
+                                      static_cast<double>(plane_batches))
+      .field("last_fill_fraction",
+             reg.gauge("decode_plane.fill_fraction_x1000").value() / 1000.0);
+
   JsonWriter status;
   status.field("phase", health.phase.empty() ? "idle" : health.phase)
       .field("active", health.active)
@@ -122,6 +144,7 @@ std::string status_json() {
              static_cast<std::int64_t>(health.stalled_walkers))
       .raw("walkers", walkers)
       .raw("exchange_pairs", pairs)
+      .raw("decode_plane", plane.str())
       .raw("spans", spans);
   return status.str();
 }

@@ -395,6 +395,10 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
             sample.vae_proposed = static_cast<std::uint64_t>(value);
           else if (field == "vae_accept")
             sample.vae_acceptance = value;
+          else if (field == "vae_decode_wait_ms")
+            sample.vae_decode_wait_ms = value;
+          else if (field == "vae_decode_waits")
+            sample.vae_decode_waits = static_cast<std::uint64_t>(value);
         }
         health.publish(health_cell, sample);
 

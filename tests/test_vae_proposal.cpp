@@ -238,6 +238,47 @@ TEST(VaeProposalFastPath, DecodeBatchNeverChangesTheTrajectory) {
   EXPECT_EQ(runs[0], runs[2]);
 }
 
+TEST(VaeProposalFastPath, InvalidateClearsLastProbsAndIsTrajectoryNeutral) {
+  // Regression: invalidate_decode_cache() used to leave last_probs()
+  // pointing at the stale pre-invalidation rows. It must clear the span
+  // (the rows no longer correspond to any served proposal) without
+  // disturbing the trajectory -- the next propose() re-decodes from the
+  // derived latent stream at the same ordinal.
+  const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
+  const auto ham = lattice::random_epi(4, 1, 0.1, 21);
+  auto vae = make_vae(lat.num_sites(), 4, 77);
+
+  VaeProposal ref(ham, vae);
+  ref.set_decode_batch(4);
+  mc::Rng ref_rng(11, 0);
+  auto ref_cfg = lattice::random_configuration(lat, 4, ref_rng);
+  const auto want = run_trajectory(ref, ham, 12, ref_rng, ref_cfg);
+
+  VaeProposal prop(ham, vae);
+  prop.set_decode_batch(4);
+  mc::Rng rng(11, 0);
+  auto cfg = lattice::random_configuration(lat, 4, rng);
+  auto got = run_trajectory(prop, ham, 5, rng, cfg);
+  EXPECT_FALSE(prop.last_probs().empty());
+
+  prop.invalidate_decode_cache();
+  EXPECT_TRUE(prop.last_probs().empty());  // the regression assertion
+
+  const auto rest = run_trajectory(prop, ham, 7, rng, cfg);
+  got.occupancies.insert(got.occupancies.end(), rest.occupancies.begin(),
+                         rest.occupancies.end());
+  got.delta_energies.insert(got.delta_energies.end(),
+                            rest.delta_energies.begin(),
+                            rest.delta_energies.end());
+  got.log_q_ratios.insert(got.log_q_ratios.end(), rest.log_q_ratios.begin(),
+                          rest.log_q_ratios.end());
+  got.rng_positions.insert(got.rng_positions.end(),
+                           rest.rng_positions.begin(),
+                           rest.rng_positions.end());
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(prop.last_probs().empty());  // serving resumed
+}
+
 TEST(VaeProposalFastPath, SaveLoadResumesBitExact) {
   const auto lat = Lattice::create(LatticeType::kBCC, 2, 2, 2, 1);
   const auto ham = lattice::random_epi(4, 1, 0.1, 33);
