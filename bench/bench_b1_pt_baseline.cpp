@@ -60,14 +60,15 @@ int main(int argc, char** argv) {
   }
   auto wham_result = mc::wham(fw.grid(), usable, usable_temps);
   const double pt_seconds = pt_clock.seconds();
-  wham_result.dos.normalize(fw.log_total_states());
+  wham_result.dos.normalize(units::LogWeight(fw.log_total_states()));
 
   // ---- compare ----
   int common = 0;
   dt::RunningStats abs_diff;
   for (std::int32_t b = 0; b < fw.grid().n_bins(); ++b) {
     if (!deep.dos.visited(b) || !wham_result.dos.visited(b)) continue;
-    abs_diff.add(std::abs(deep.dos.log_g(b) - wham_result.dos.log_g(b)));
+    abs_diff.add(
+        std::abs((deep.dos.log_g(b) - wham_result.dos.log_g(b)).value()));
     ++common;
   }
 

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   for (std::int32_t b = 0; b < result.grid.n_bins(); ++b) {
     if (!result.dos.visited(b)) continue;
     if (b % stride != 0) continue;
-    curve.add(b, result.grid.energy(b), result.dos.log_g(b),
-              result.dos.log_g(b) / n_atoms);
+    curve.add(b, result.grid.energy(b), result.dos.log_g(b).value(),
+              result.dos.log_g(b).value() / n_atoms);
   }
   bench::emit(curve, cfg, "Figure F1: ln g(E) (subsampled rows)", "curve");
 

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   mc::Rng init_rng(opts.seed, stream_id(0xF3, 0));
   auto config = lattice::random_configuration(lat, 4, init_rng);
-  mc::MetropolisSampler sampler(ham, config, t_hi,
+  mc::MetropolisSampler sampler(ham, config, units::Temperature(t_hi),
                                 mc::Rng(opts.seed, stream_id(0xF3, 1)));
   mc::LocalSwapProposal kernel(ham);
 
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                                  : static_cast<double>(i) /
                                        static_cast<double>(n_t - 1);
     const double t = t_hi * std::pow(t_lo / t_hi, frac);
-    sampler.set_temperature(t);
+    sampler.set_temperature(units::Temperature(t));
     sampler.reset_stats();
     sampler.run(kernel, equil);
 

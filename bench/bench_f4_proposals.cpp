@@ -82,8 +82,8 @@ int main(int argc, char** argv) {
       double e = ham.total_energy(config);
       Stopwatch clock;
       for (std::int64_t i = 0; i < reps; ++i) {
-        const auto r = kernel.propose(config, e, rng);
-        e += r.delta_energy;
+        const auto r = kernel.propose(config, units::Energy(e), rng);
+        e += r.delta_energy.value();
       }
       const double secs = clock.seconds();
       tput.add(name, static_cast<double>(reps) / secs,
@@ -148,8 +148,8 @@ int main(int argc, char** argv) {
             while (!go.load(std::memory_order_acquire)) {
             }
             for (std::int64_t i = 0; i < reps; ++i) {
-              const auto r = kernel.propose(config, e, rng);
-              e += r.delta_energy;
+              const auto r = kernel.propose(config, units::Energy(e), rng);
+              e += r.delta_energy.value();
             }
             volatile double guard = e;
             (void)guard;

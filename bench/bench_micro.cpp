@@ -91,7 +91,8 @@ void BM_MetropolisSweep(benchmark::State& state) {
   System sys(static_cast<int>(state.range(0)));
   mc::Rng rng(4, 0);
   auto cfg = lattice::random_configuration(sys.lat, 4, rng);
-  mc::MetropolisSampler sampler(sys.ham, cfg, 0.1, mc::Rng(4, 1));
+  mc::MetropolisSampler sampler(sys.ham, cfg, units::Temperature(0.1),
+                                mc::Rng(4, 1));
   mc::LocalSwapProposal kernel(sys.ham);
   for (auto _ : state) sampler.sweep(kernel);
   state.SetItemsProcessed(state.iterations() * sys.lat.num_sites());
@@ -149,8 +150,8 @@ void BM_VaeGlobalProposal(benchmark::State& state) {
   auto cfg = lattice::random_configuration(sys.lat, 4, rng);
   double e = sys.ham.total_energy(cfg);
   for (auto _ : state) {
-    const auto r = kernel.propose(cfg, e, rng);
-    e += r.delta_energy;
+    const auto r = kernel.propose(cfg, units::Energy(e), rng);
+    e += r.delta_energy.value();
     benchmark::DoNotOptimize(e);
   }
   state.SetItemsProcessed(state.iterations());

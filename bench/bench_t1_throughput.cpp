@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
     Stopwatch clock;
     double e = ham.total_energy(config);
     for (std::int64_t i = 0; i < n; ++i) {
-      const auto r = kernel.propose(config, e, rng);
-      if (r.valid) e += r.delta_energy;  // keep, no revert: max throughput
+      const auto r = kernel.propose(config, units::Energy(e), rng);
+      if (r.valid) e += r.delta_energy.value();  // keep, no revert: max throughput
     }
     local_rate = static_cast<double>(n) / clock.seconds();
   }
@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
     Stopwatch clock;
     double e = ham.total_energy(config);
     for (std::int64_t i = 0; i < n; ++i) {
-      const auto r = kernel.propose(config, e, rng);
-      e += r.delta_energy;
+      const auto r = kernel.propose(config, units::Energy(e), rng);
+      e += r.delta_energy.value();
     }
     vae_rate = static_cast<double>(n) / clock.seconds();
   }

@@ -62,7 +62,10 @@ int main() {
   const double e_cut = grid.e_min() + 0.1 * (grid.e_max() - grid.e_min());
   for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
     if (!dos.visited(b)) continue;
-    const double logw = dos.log_g(b) - grid.energy(b) / t;
+    const double logw =
+        (dos.log_g(b) - units::to_beta(units::Temperature(t)) *
+                            units::Energy(grid.energy(b)))
+            .value();
     all.push_back(logw);
     if (grid.energy(b) < e_cut) low.push_back(logw);
   }

@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
     mc::Rng rng(options.seed, stream_id(0xE6, t < tc ? 1u : 0u));
     auto config =
         lattice::random_configuration(framework.lattice_ref(), 4, rng);
-    mc::MetropolisSampler sampler(framework.hamiltonian(), config, t,
+    mc::MetropolisSampler sampler(framework.hamiltonian(), config,
+                                  units::Temperature(t),
                                   mc::Rng(options.seed, stream_id(0xE7, 2)));
     mc::LocalSwapProposal kernel(framework.hamiltonian());
     sampler.run(kernel, 400);

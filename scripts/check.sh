@@ -2,7 +2,8 @@
 # Pre-merge gate. Stages, in order (see README "check.sh pipeline"):
 #
 #   static      dt_lint domain invariants (+ standalone-header compile),
-#               clang-format diff gate, clang-tidy profile
+#               gcc -fanalyzer gate over curated TUs, clang-format diff
+#               gate, clang-tidy profile
 #   asan        ASan/UBSan build, tier-1 suite under both
 #   tsan        ThreadSanitizer pass over the concurrency-heavy tests
 #   coverage    line-coverage floors for src/mc/ and src/validate/
@@ -10,9 +11,10 @@
 #
 #   scripts/check.sh [extra ctest args...]     (args go to the asan stage)
 #
-# Escape hatches (set to 1): DT_SKIP_LINT, DT_SKIP_CLANG_TIDY,
-# DT_SKIP_TSAN, DT_SKIP_COVERAGE, DT_SKIP_PERF_SMOKE. Stages that need
-# a missing optional tool (clang-format, clang-tidy) self-skip.
+# Escape hatches (set to 1): DT_SKIP_LINT, DT_SKIP_ANALYZER,
+# DT_SKIP_CLANG_TIDY, DT_SKIP_TSAN, DT_SKIP_COVERAGE,
+# DT_SKIP_PERF_SMOKE. Stages that need a missing optional tool
+# (clang-format, clang-tidy) self-skip.
 #
 # Each stage emits one machine-readable summary line:
 #   check.sh[stage] name=<stage> status=<ok|fail|skip> duration_s=<secs>
@@ -75,6 +77,20 @@ stage_lint() {
   echo "check.sh: dt_lint invariants hold (src/ + standalone headers)"
 }
 
+stage_analyzer() {
+  if [[ "${DT_SKIP_ANALYZER:-0}" == "1" ]]; then
+    echo "check.sh: gcc -fanalyzer gate skipped (DT_SKIP_ANALYZER=1)"
+    return 99
+  fi
+  if ! command -v g++ >/dev/null 2>&1; then
+    echo "check.sh: gcc -fanalyzer gate skipped (no g++ on PATH)"
+    return 99
+  fi
+  python3 "${repo_root}/scripts/lint/dt_analyze.py" --repo "${repo_root}" \
+    --jobs "${jobs}"
+  echo "check.sh: gcc -fanalyzer gate clean (curated targets)"
+}
+
 stage_format() {
   if [[ "${DT_SKIP_LINT:-0}" == "1" ]]; then
     echo "check.sh: format gate skipped (DT_SKIP_LINT=1)"
@@ -108,6 +124,7 @@ stage_clang_tidy() {
 }
 
 run_stage static_lint stage_lint
+run_stage static_analyzer stage_analyzer
 run_stage static_format stage_format
 run_stage static_clang_tidy stage_clang_tidy
 

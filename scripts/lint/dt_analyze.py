@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""dt_analyze: GCC-native static analyzer gate (gcc -fanalyzer).
+
+Runs `g++ -fanalyzer` over a curated list of translation units
+(scripts/lint/analyzer_targets.txt) and fails on any -Wanalyzer-*
+finding that is not explicitly triaged in the allowlist
+(scripts/lint/analyzer_allow.txt).
+
+Why curated targets rather than the whole tree: in GCC 12 the analyzer
+is C-focused; on heavily templated C++ it produces state-explosion
+noise inside libstdc++ internals. The curated list covers the
+subsystems where the analyzer's path-sensitive checks pull their
+weight -- the checkpoint/serialisation layer (raw byte I/O, fd
+lifecycles), the common utility layer, and the embedded HTTP server
+(socket lifecycles, request parsing) -- and is expected to grow as GCC's
+C++ support matures.
+
+Allowlist entries are `<warning-id> <tu-path>  # <reason>` with the
+reason mandatory; findings are keyed by (warning, TU) no matter where
+the diagnostic points (a header, or `cc1plus:` with no location at
+all), so triage survives inlining-location churn. Entries that no
+longer suppress anything are an error -- the allowlist cannot rot.
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation / config
+(missing target file, stale allowlist entry, ...).
+
+Usage:
+  dt_analyze.py [--repo DIR] [--targets FILE] [--allowlist FILE]
+                [--jobs N] [--list-targets]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import dataclasses
+import pathlib
+import re
+import subprocess
+import sys
+
+ANALYZER_FLAGS = [
+    "-std=c++20",
+    "-O1",  # analyzer runs on optimised GIMPLE; -O0 changes its IL view
+    "-fanalyzer",
+    "-c",
+    "-o",
+    "/dev/null",
+]
+
+FINDING_RE = re.compile(r"\[-W(analyzer-[a-z0-9-]+)\]")
+
+
+class AnalyzeError(Exception):
+    """Configuration problem (bad targets file, stale allowlist, ...)."""
+
+
+@dataclasses.dataclass
+class AllowEntry:
+    warning: str
+    tu: str
+    reason: str
+    line: int
+    used: bool = False
+
+
+@dataclasses.dataclass
+class Finding:
+    warning: str
+    tu: str
+    diagnostic: str  # first line of the original diagnostic
+
+
+def parse_targets(path: pathlib.Path, repo: pathlib.Path) -> list[str]:
+    if not path.is_file():
+        raise AnalyzeError(f"targets file missing: {path}")
+    targets: list[str] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if not (repo / line).is_file():
+            raise AnalyzeError(
+                f"{path}:{lineno}: target '{line}' does not exist "
+                "(stale targets entry?)")
+        targets.append(line)
+    if not targets:
+        raise AnalyzeError(f"targets file {path} lists no translation units")
+    return targets
+
+
+def parse_allowlist(path: pathlib.Path) -> list[AllowEntry]:
+    entries: list[AllowEntry] = []
+    if not path.is_file():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, reason = line.partition("#")
+        reason = reason.strip()
+        fields = body.split()
+        if len(fields) != 2 or not reason:
+            raise AnalyzeError(
+                f"{path}:{lineno}: allowlist entries are "
+                f"'<warning-id> <tu-path>  # <reason>' (reason "
+                f"required): {raw!r}")
+        warning, tu = fields
+        if not warning.startswith("analyzer-"):
+            raise AnalyzeError(
+                f"{path}:{lineno}: '{warning}' is not a -Wanalyzer-* "
+                "warning id (write it without the -W prefix)")
+        entries.append(AllowEntry(warning, tu, reason, lineno))
+    return entries
+
+
+def analyze_tu(repo: pathlib.Path, tu: str) -> list[Finding]:
+    cmd = ["g++", *ANALYZER_FLAGS, "-I", str(repo / "src"), str(repo / tu)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    findings: list[Finding] = []
+    for line in proc.stderr.splitlines():
+        m = FINDING_RE.search(line)
+        if m:
+            findings.append(Finding(m.group(1), tu, line.strip()))
+    if proc.returncode != 0 and not findings:
+        raise AnalyzeError(
+            f"g++ -fanalyzer failed on {tu} without findings:\n"
+            f"{proc.stderr.strip()[:2000]}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dt_analyze.py",
+        description="gcc -fanalyzer gate over curated translation units")
+    parser.add_argument("--repo", default=None)
+    parser.add_argument("--targets",
+                        default="scripts/lint/analyzer_targets.txt")
+    parser.add_argument("--allowlist",
+                        default="scripts/lint/analyzer_allow.txt")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--list-targets", action="store_true")
+    args = parser.parse_args(argv)
+
+    repo = (pathlib.Path(args.repo).resolve() if args.repo
+            else pathlib.Path(__file__).resolve().parents[2])
+
+    try:
+        targets = parse_targets(repo / args.targets, repo)
+        allow = parse_allowlist(repo / args.allowlist)
+    except AnalyzeError as err:
+        print(f"dt_analyze: config error: {err}", file=sys.stderr)
+        return 2
+
+    if args.list_targets:
+        print("\n".join(targets))
+        return 0
+
+    findings: list[Finding] = []
+    try:
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            for batch in pool.map(lambda t: analyze_tu(repo, t), targets):
+                findings.extend(batch)
+    except AnalyzeError as err:
+        print(f"dt_analyze: {err}", file=sys.stderr)
+        return 2
+
+    kept: list[Finding] = []
+    for f in findings:
+        suppressed = False
+        for entry in allow:
+            if entry.warning == f.warning and entry.tu == f.tu:
+                entry.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(f)
+
+    stale = [e for e in allow if not e.used]
+    if stale:
+        lines = "\n".join(
+            f"  line {e.line}: {e.warning} {e.tu}" for e in stale)
+        print("dt_analyze: stale allowlist entries (no longer suppress "
+              f"any finding; delete them):\n{lines}", file=sys.stderr)
+        return 2
+
+    for f in kept:
+        print(f"{f.tu}: [{f.warning}] {f.diagnostic}")
+    n_sup = len(findings) - len(kept)
+    print(f"dt_analyze: {len(kept)} finding(s) ({n_sup} allowlisted) "
+          f"across {len(targets)} translation unit(s)")
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

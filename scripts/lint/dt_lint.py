@@ -21,6 +21,20 @@ Enforces project invariants that generic tooling cannot express:
   header-hygiene        Every header carries #pragma once; with
                         --compile-headers each header must also compile
                         standalone (self-sufficient includes).
+  unit-discipline       Physics-domain quantities cross signatures as
+                        the strong types of common/units.hpp (Energy,
+                        Beta, LogWeight, ...), never as bare `double
+                        temperature` / `double energy` parameters. Raw
+                        doubles stay legal at the serialisation /
+                        config / telemetry boundary (struct members and
+                        locals are not parameters and do not match).
+  module-layering       The src/ module DAG declared in
+                        scripts/lint/layers.txt is authoritative:
+                        #include edges must stay inside each module's
+                        declared transitive closure, and the CMake
+                        target_link_libraries graph must match the
+                        declaration exactly (checked when the module
+                        has a CMakeLists.txt).
 
 Violations are suppressed case-by-case through an allowlist file
 (default scripts/lint/dt_lint_allow.txt) whose entries carry a required
@@ -51,11 +65,16 @@ RULES = (
     "hot-path-purity",
     "io-discipline",
     "header-hygiene",
+    "unit-discipline",
+    "module-layering",
 )
 
 # Paths (relative, '/'-separated) exempt from rng-discipline: the RNG
 # layer itself is where the engines live.
 RNG_HOME = ("src/common/rng",)
+
+# Paths exempt from unit-discipline: the strong types themselves.
+UNITS_HOME = ("src/common/units",)
 
 SOURCE_SUFFIXES = (".hpp", ".cpp")
 
@@ -145,9 +164,21 @@ IO_PATTERNS = (
 )
 
 
+# unit-discipline: a bare-double *parameter* whose name is a physics
+# domain word must be one of the common/units.hpp strong types. Only
+# parameters match (name directly followed by ',' or ')'): struct
+# members end in ';' or '= default', locals in '=', so the
+# serialisation / config / telemetry boundary stays raw double without
+# special cases.
+UNIT_PARAM_RE = re.compile(
+    r"\bdouble\s+(\w*(?:temperature|beta|energy|log_g|log_weight"
+    r"|log_q|log_prob|log_dos)\w*)\s*[,)]")
+
+
 def scan_line_rules(path: str, stripped: str) -> list[Violation]:
     out: list[Violation] = []
     rng_exempt = any(path.startswith(home) for home in RNG_HOME)
+    units_exempt = any(path.startswith(home) for home in UNITS_HOME)
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         if not rng_exempt:
             for pat, what in RNG_PATTERNS:
@@ -169,6 +200,15 @@ def scan_line_rules(path: str, stripped: str) -> list[Violation]:
                     "io-discipline", path, lineno,
                     f"{what}: library code reports through DT_LOG_* and "
                     "formats with dt::strformat"))
+        if not units_exempt:
+            for m in UNIT_PARAM_RE.finditer(line):
+                out.append(Violation(
+                    "unit-discipline", path, lineno,
+                    f"bare 'double {m.group(1)}' parameter: physics "
+                    "domains cross signatures as the strong types of "
+                    "common/units.hpp (Energy, Beta, LogWeight, ...); "
+                    "raw doubles belong to the serialisation/config "
+                    "boundary only", symbol=m.group(1)))
     return out
 
 
@@ -257,6 +297,139 @@ def scan_hot_path(path: str, stripped: str,
                         f"{what} inside hotlisted function '{fn}': hot "
                         "kernels must use caller-provided workspace and "
                         "stay lock-free", symbol=fn))
+    return out
+
+
+# --------------------------------------------------------------------------
+# module-layering: the module DAG in scripts/lint/layers.txt is the
+# single declaration of who may depend on whom. Include edges must stay
+# inside each module's transitive closure; where a module has a
+# src/<mod>/CMakeLists.txt, its target_link_libraries(dt_<mod> ...)
+# edges must equal the declaration (so the build graph cannot drift
+# from the declared one).
+# --------------------------------------------------------------------------
+
+MODULE_RE = re.compile(r"(?:^|/)src/([^/]+)/")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"/]+)/')
+CMAKE_LINK_RE = re.compile(
+    r"target_link_libraries\s*\(\s*dt_(\w+)([^)]*)\)", re.DOTALL)
+
+
+def parse_layers(path: pathlib.Path) -> dict[str, list[str]]:
+    """'<module>: <dep> <dep> ...' per line; deps must be declared
+    modules; the graph must be acyclic."""
+    layers: dict[str, list[str]] = {}
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        mod, sep, deps = line.partition(":")
+        mod = mod.strip()
+        if not sep or not mod or " " in mod:
+            raise LintError(
+                f"{path}:{lineno}: layer entries are "
+                f"'<module>: <dep> <dep> ...': {raw!r}")
+        if mod in layers:
+            raise LintError(f"{path}:{lineno}: duplicate module '{mod}'")
+        layers[mod] = deps.split()
+    for mod, deps in layers.items():
+        for d in deps:
+            if d not in layers:
+                raise LintError(
+                    f"{path}: module '{mod}' depends on undeclared "
+                    f"module '{d}'")
+    # Cycle check + transitive closure by DFS.
+    state: dict[str, int] = {}  # 1 = visiting, 2 = done
+
+    def visit(mod: str, trail: list[str]) -> None:
+        if state.get(mod) == 2:
+            return
+        if state.get(mod) == 1:
+            cycle = " -> ".join(trail[trail.index(mod):] + [mod])
+            raise LintError(f"{path}: dependency cycle: {cycle}")
+        state[mod] = 1
+        for d in layers[mod]:
+            visit(d, trail + [mod])
+        state[mod] = 2
+
+    for mod in layers:
+        visit(mod, [])
+    return layers
+
+
+def layer_closure(layers: dict[str, list[str]]) -> dict[str, set[str]]:
+    closure: dict[str, set[str]] = {}
+
+    def walk(mod: str) -> set[str]:
+        if mod not in closure:
+            acc: set[str] = set()
+            for d in layers[mod]:
+                acc.add(d)
+                acc |= walk(d)
+            closure[mod] = acc
+        return closure[mod]
+
+    for mod in layers:
+        walk(mod)
+    return closure
+
+
+def check_layers_against_cmake(repo: pathlib.Path, layers_path: str,
+                               layers: dict[str, list[str]]) -> None:
+    """Where src/<mod>/CMakeLists.txt exists, its dt_* link edges must
+    equal the layers.txt declaration (dt_warnings, the flags-only
+    INTERFACE target, is infrastructure and exempt)."""
+    for mod, deps in layers.items():
+        cmake = repo / "src" / mod / "CMakeLists.txt"
+        if not cmake.is_file():
+            continue
+        linked: set[str] = set()
+        for m in CMAKE_LINK_RE.finditer(cmake.read_text()):
+            if m.group(1) != mod:
+                continue
+            for lib in re.findall(r"\bdt_(\w+)\b", m.group(2)):
+                if lib != "warnings":
+                    linked.add(lib)
+        declared = set(deps)
+        if linked != declared:
+            extra = sorted(linked - declared)
+            missing = sorted(declared - linked)
+            detail = []
+            if extra:
+                detail.append(f"CMake links undeclared: {', '.join(extra)}")
+            if missing:
+                detail.append(
+                    f"declared but not linked: {', '.join(missing)}")
+            raise LintError(
+                f"{layers_path}: module '{mod}' disagrees with "
+                f"{cmake.relative_to(repo).as_posix()} "
+                f"({'; '.join(detail)})")
+
+
+def scan_layering(path: str, text: str, layers: dict[str, list[str]],
+                  closure: dict[str, set[str]]) -> list[Violation]:
+    m = MODULE_RE.search(path)
+    if m is None:
+        return []  # not module code (tests, benches, scripts)
+    mod = m.group(1)
+    if mod not in layers:
+        raise LintError(
+            f"src module '{mod}' ({path}) is not declared in layers.txt; "
+            "add it with its dependency list")
+    allowed = closure[mod] | {mod}
+    out: list[Violation] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        inc = INCLUDE_RE.match(line)
+        if inc is None:
+            continue
+        target = inc.group(1)
+        if target in layers and target not in allowed:
+            out.append(Violation(
+                "module-layering", path, lineno,
+                f"module '{mod}' includes '{target}/...' but layers.txt "
+                f"declares no path {mod} -> {target}; either the include "
+                "is a layering leak or the dependency belongs in "
+                "layers.txt + CMake", symbol=target))
     return out
 
 
@@ -371,14 +544,23 @@ def discover(repo: pathlib.Path, roots: list[str]) -> list[str]:
 
 def run_lint(repo: pathlib.Path, roots: list[str],
              allow: list[AllowEntry], hotlist: dict[str, list[str]],
-             compile_headers: bool,
-             include_dirs: list[str]) -> list[Violation]:
+             compile_headers: bool, include_dirs: list[str],
+             layers: dict[str, list[str]] | None = None,
+             check_cmake: bool = False,
+             layers_path: str = "layers.txt") -> list[Violation]:
+    closure = layer_closure(layers) if layers else {}
+    if layers and check_cmake:
+        check_layers_against_cmake(repo, layers_path, layers)
     violations: list[Violation] = []
     hot_seen: set[str] = set()
     for path in discover(repo, roots):
         original = (repo / path).read_text(errors="replace")
         stripped = strip_comments_and_strings(original)
         violations += scan_line_rules(path, stripped)
+        if layers:
+            # Include paths live inside string literals, which the stripper
+            # blanks out, so this rule scans the original text.
+            violations += scan_layering(path, original, layers, closure)
         if path in hotlist:
             hot_seen.add(path)
             violations += scan_hot_path(path, stripped, hotlist[path])
@@ -436,7 +618,8 @@ def run_self_test(repo: pathlib.Path, fixtures: pathlib.Path) -> int:
     for case in cases:
         sources = sorted(
             p.relative_to(repo).as_posix()
-            for p in case.iterdir() if p.suffix in SOURCE_SUFFIXES)
+            for p in case.rglob("*")
+            if p.suffix in SOURCE_SUFFIXES and p.is_file())
         expected: dict[str, list[str]] = {s: [] for s in sources}
         for src in sources:
             for m in EXPECT_RE.finditer((repo / src).read_text()):
@@ -448,12 +631,17 @@ def run_self_test(repo: pathlib.Path, fixtures: pathlib.Path) -> int:
                 expected[src].append(rule)
         allow_file = case / "allow.txt"
         hot_file = case / "hotlist.txt"
+        layers_file = case / "layers.txt"
         expect_error = case / "expect_error.txt"
         try:
             allow = parse_allowlist(allow_file) if allow_file.exists() else []
             hotlist = parse_hotlist(hot_file) if hot_file.exists() else {}
+            layers = (parse_layers(layers_file)
+                      if layers_file.exists() else None)
             got = run_lint(repo, sources, allow, hotlist,
-                           compile_headers=False, include_dirs=[])
+                           compile_headers=False, include_dirs=[],
+                           layers=layers,
+                           layers_path=layers_file.as_posix())
         except LintError as err:
             if expect_error.exists():
                 want = expect_error.read_text().strip()
@@ -504,6 +692,9 @@ def main(argv: list[str]) -> int:
                         "repo (repeatable; default: src)")
     parser.add_argument("--allowlist", default="scripts/lint/dt_lint_allow.txt")
     parser.add_argument("--hotlist", default="scripts/lint/hotlist.txt")
+    parser.add_argument("--layers", default="scripts/lint/layers.txt",
+                        help="module DAG declaration for module-layering "
+                        "(rule skipped when the file is absent)")
     parser.add_argument("--compile-headers", action="store_true",
                         help="also compile each header standalone with "
                         "g++ -fsyntax-only (slower)")
@@ -528,10 +719,14 @@ def main(argv: list[str]) -> int:
     try:
         allow_path = repo / args.allowlist
         hot_path = repo / args.hotlist
+        layers_path = repo / args.layers
         allow = parse_allowlist(allow_path) if allow_path.exists() else []
         hotlist = parse_hotlist(hot_path) if hot_path.exists() else {}
+        layers = parse_layers(layers_path) if layers_path.exists() else None
         violations = run_lint(repo, args.root or ["src"], allow, hotlist,
-                              args.compile_headers, args.include_dir)
+                              args.compile_headers, args.include_dir,
+                              layers=layers, check_cmake=True,
+                              layers_path=args.layers)
     except LintError as err:
         print(f"dt_lint: config error: {err}", file=sys.stderr)
         return 2

@@ -1,0 +1,44 @@
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "common/math.hpp"
+
+namespace dt::units {
+
+LogWeight log_sum_exp(std::span<const LogWeight> xs) {
+  if (xs.empty())
+    return LogWeight(-std::numeric_limits<double>::infinity());
+  double max_x = xs.front().value();
+  for (const LogWeight x : xs) max_x = std::max(max_x, x.value());
+  if (!std::isfinite(max_x)) return LogWeight(max_x);
+  KahanSum acc;
+  for (const LogWeight x : xs) acc.add(std::exp(x.value() - max_x));
+  return LogWeight(max_x + std::log(acc.value()));
+}
+
+std::ostream& operator<<(std::ostream& os, Energy e) {
+  return os << "E(" << e.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, DeltaEnergy d) {
+  return os << "dE(" << d.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, Temperature t) {
+  return os << "T(" << t.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, Beta b) {
+  return os << "beta(" << b.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, LogWeight w) {
+  return os << "lnw(" << w.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, Prob p) {
+  return os << "p(" << p.value() << ")";
+}
+std::ostream& operator<<(std::ostream& os, LogDoS g) {
+  return os << "lng(" << g.value() << ")";
+}
+
+}  // namespace dt::units

@@ -1,0 +1,222 @@
+// Strong types for the physics value domains.
+//
+// DeepThermo's acceptance rules mix five scalar domains that are all
+// `double` at the machine level yet must never cross silently: linear
+// energies (E, dE), inverse temperature beta, log-domain weights
+// (ln g, ln f, ln q ratios, -beta dE) and linear probabilities. A single
+// missing exp/log or a beta-vs-T swap corrupts thermodynamics without
+// crashing -- the classic flat-histogram failure mode. These wrappers
+// make such mixes compile errors while costing nothing at runtime:
+// every type is a trivially copyable double of identical size, all
+// operators are constexpr and inline, and only the physically
+// meaningful combinations exist:
+//
+//   Energy  - Energy      -> DeltaEnergy        (same axis, differenced)
+//   Energy  +- DeltaEnergy-> Energy             (incremental updates)
+//   Beta    * Energy      -> LogWeight          (dimensionless exponent)
+//   Beta    * DeltaEnergy -> LogWeight
+//   LogWeight +- LogWeight-> LogWeight          (log-domain products)
+//   LogDoS  - LogDoS      -> LogWeight          (ln g ratios in WL/MUCA)
+//   LogDoS  +- LogWeight  -> LogDoS             (ln f reinforcement, shifts)
+//   exp(LogWeight)        -> Prob               (the ONLY log->linear door)
+//   log(Prob)             -> LogWeight          (the ONLY linear->log door)
+//   Prob    * Prob        -> Prob
+//   Temperature <-> Beta  only via to_beta / to_temperature
+//
+// Illegal mixes -- Beta + Energy, Prob + LogWeight, Temperature used as
+// Beta, implicit construction from bare double -- do not compile
+// (negative-tested by tests/test_units_compile_fail.cmake).
+//
+// Boundary rule: serialization, checkpoints, JSON/telemetry payloads and
+// user-facing config stay raw double. Wrap with the explicit constructor
+// on ingest, unwrap with .value() on emit; the byte layout of a stored
+// quantity is exactly the byte layout of its double (static_asserted
+// below), so pre-refactor checkpoints remain readable bit-exactly.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <concepts>
+#include <iosfwd>
+#include <span>
+#include <type_traits>
+
+namespace dt::units {
+
+// Boilerplate shared by every domain type: explicit construction from
+// double, .value() escape hatch, ordering within the SAME type only,
+// and the zero-overhead layout guarantees.
+#define DT_UNITS_STRONG_DOUBLE(Name)                                        \
+  class Name {                                                              \
+   public:                                                                  \
+    Name() = default;                                                       \
+    constexpr explicit Name(double v) : v_(v) {}                            \
+    [[nodiscard]] constexpr double value() const { return v_; }             \
+    friend constexpr bool operator==(Name a, Name b) {                      \
+      return a.v_ == b.v_;                                                  \
+    }                                                                       \
+    friend constexpr std::partial_ordering operator<=>(Name a, Name b) {    \
+      return a.v_ <=> b.v_;                                                 \
+    }                                                                       \
+                                                                            \
+   private:                                                                 \
+    double v_ = 0.0;                                                        \
+  };                                                                        \
+  static_assert(sizeof(Name) == sizeof(double));                            \
+  static_assert(std::is_trivially_copyable_v<Name>);                        \
+  static_assert(std::is_standard_layout_v<Name>)
+
+/// Total energy of a configuration (Hamiltonian units, k_B = 1).
+DT_UNITS_STRONG_DOUBLE(Energy);
+
+/// Energy difference between two configurations (proposal deltas).
+DT_UNITS_STRONG_DOUBLE(DeltaEnergy);
+
+/// Temperature in energy units (k_B = 1). Carries no arithmetic: the
+/// acceptance rules consume Beta, obtained solely through to_beta().
+DT_UNITS_STRONG_DOUBLE(Temperature);
+
+/// Inverse temperature 1/T. Multiplying by an energy is the only way to
+/// enter the log domain from Beta.
+DT_UNITS_STRONG_DOUBLE(Beta);
+
+/// A log-domain quantity: ln of a weight, probability ratio, modification
+/// factor ln f, -beta dE exponent, ln Z summand, ...
+DT_UNITS_STRONG_DOUBLE(LogWeight);
+
+/// Linear-domain probability (or probability-like weight in [0, 1]).
+DT_UNITS_STRONG_DOUBLE(Prob);
+
+/// ln g(E): the log density of states. Distinct from LogWeight so a bare
+/// ln g is never used where a ratio/exponent is required -- differencing
+/// two LogDoS values is what produces a LogWeight.
+DT_UNITS_STRONG_DOUBLE(LogDoS);
+
+#undef DT_UNITS_STRONG_DOUBLE
+
+/// ln of a probability: same algebra as any log-domain quantity.
+using LogProb = LogWeight;
+
+// ---- energy axis ---------------------------------------------------------
+
+[[nodiscard]] constexpr DeltaEnergy operator-(Energy a, Energy b) {
+  return DeltaEnergy(a.value() - b.value());
+}
+[[nodiscard]] constexpr Energy operator+(Energy e, DeltaEnergy d) {
+  return Energy(e.value() + d.value());
+}
+[[nodiscard]] constexpr Energy operator-(Energy e, DeltaEnergy d) {
+  return Energy(e.value() - d.value());
+}
+constexpr Energy& operator+=(Energy& e, DeltaEnergy d) {
+  e = e + d;
+  return e;
+}
+[[nodiscard]] constexpr DeltaEnergy operator+(DeltaEnergy a, DeltaEnergy b) {
+  return DeltaEnergy(a.value() + b.value());
+}
+[[nodiscard]] constexpr DeltaEnergy operator-(DeltaEnergy a, DeltaEnergy b) {
+  return DeltaEnergy(a.value() - b.value());
+}
+[[nodiscard]] constexpr DeltaEnergy operator-(DeltaEnergy d) {
+  return DeltaEnergy(-d.value());
+}
+
+// ---- log domain ----------------------------------------------------------
+
+[[nodiscard]] constexpr LogWeight operator+(LogWeight a, LogWeight b) {
+  return LogWeight(a.value() + b.value());
+}
+[[nodiscard]] constexpr LogWeight operator-(LogWeight a, LogWeight b) {
+  return LogWeight(a.value() - b.value());
+}
+[[nodiscard]] constexpr LogWeight operator-(LogWeight w) {
+  return LogWeight(-w.value());
+}
+constexpr LogWeight& operator+=(LogWeight& a, LogWeight b) {
+  a = a + b;
+  return a;
+}
+[[nodiscard]] constexpr LogWeight operator*(Beta b, Energy e) {
+  return LogWeight(b.value() * e.value());
+}
+[[nodiscard]] constexpr LogWeight operator*(Beta b, DeltaEnergy d) {
+  return LogWeight(b.value() * d.value());
+}
+[[nodiscard]] constexpr LogWeight operator-(LogDoS a, LogDoS b) {
+  return LogWeight(a.value() - b.value());
+}
+[[nodiscard]] constexpr LogDoS operator+(LogDoS g, LogWeight w) {
+  return LogDoS(g.value() + w.value());
+}
+[[nodiscard]] constexpr LogDoS operator-(LogDoS g, LogWeight w) {
+  return LogDoS(g.value() - w.value());
+}
+[[nodiscard]] constexpr Prob operator*(Prob a, Prob b) {
+  return Prob(a.value() * b.value());
+}
+
+// ---- the two domain doors and the named converters -----------------------
+
+[[nodiscard]] inline Prob exp(LogWeight w) { return Prob(std::exp(w.value())); }
+[[nodiscard]] inline LogWeight log(Prob p) {
+  return LogWeight(std::log(p.value()));
+}
+[[nodiscard]] constexpr Beta to_beta(Temperature t) {
+  return Beta(1.0 / t.value());
+}
+[[nodiscard]] constexpr Temperature to_temperature(Beta b) {
+  return Temperature(1.0 / b.value());
+}
+
+// ---- acceptance-rule helpers ---------------------------------------------
+
+/// Metropolis-Hastings acceptance of a log-domain ratio against a uniform
+/// draw: accept iff ln A >= 0 or u < exp(ln A). The short-circuit keeps
+/// the hot path free of exp() for the (common) downhill case and makes
+/// the decision well-defined for ln A = +inf (REWL unknown-territory
+/// exchanges auto-accept).
+[[nodiscard]] inline bool metropolis_accept(LogWeight log_ratio, Prob u) {
+  return log_ratio.value() >= 0.0 ||
+         u.value() < std::exp(log_ratio.value());
+}
+
+/// Lazy-draw variant: `draw` (any callable returning Prob) is invoked only
+/// when the move is not an unconditional downhill accept. Samplers MUST use
+/// this form with their RNG — drawing eagerly would consume a uniform on
+/// every step and change the deterministic trajectory of seeded runs.
+template <class DrawFn>
+  requires requires(DrawFn f) {
+    { f() } -> std::same_as<Prob>;
+  }
+[[nodiscard]] inline bool metropolis_accept(LogWeight log_ratio, DrawFn&& draw) {
+  return log_ratio.value() >= 0.0 ||
+         draw().value() < std::exp(log_ratio.value());
+}
+
+/// Replica-exchange acceptance exponent for swapping configurations
+/// between inverse temperatures: (beta_i - beta_j)(E_i - E_j).
+[[nodiscard]] constexpr LogWeight exchange_log_weight(Beta beta_i, Beta beta_j,
+                                                      Energy e_i, Energy e_j) {
+  return LogWeight((beta_i.value() - beta_j.value()) *
+                   (e_i.value() - e_j.value()));
+}
+
+/// log(sum_i exp(x_i)) over log-domain values without leaving log space;
+/// max-shifted and Kahan-compensated (interops with dt::KahanSum).
+/// Returns LogWeight(-inf) for an empty span.
+[[nodiscard]] LogWeight log_sum_exp(std::span<const LogWeight> xs);
+
+// ---- diagnostics ---------------------------------------------------------
+// Printers for test failure messages and logs; the numeric payload is the
+// raw double, tagged with its domain.
+
+std::ostream& operator<<(std::ostream& os, Energy e);
+std::ostream& operator<<(std::ostream& os, DeltaEnergy d);
+std::ostream& operator<<(std::ostream& os, Temperature t);
+std::ostream& operator<<(std::ostream& os, Beta b);
+std::ostream& operator<<(std::ostream& os, LogWeight w);
+std::ostream& operator<<(std::ostream& os, Prob p);
+std::ostream& operator<<(std::ostream& os, LogDoS g);
+
+}  // namespace dt::units

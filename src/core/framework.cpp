@@ -10,6 +10,7 @@
 #include "common/math.hpp"
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
+#include "common/units.hpp"
 #include "core/decode_plane.hpp"
 #include "mc/metropolis.hpp"
 #include "mc/multicanonical.hpp"
@@ -51,7 +52,8 @@ mc::DensityOfStates read_dos(std::istream& is) {
   const auto n_bins = read_pod<std::int32_t>(is);
   mc::DensityOfStates dos{mc::EnergyGrid(e_min, e_max, n_bins)};
   for (std::int32_t b = 0; b < n_bins; ++b)
-    if (read_pod<std::uint8_t>(is) != 0) dos.set(b, read_pod<double>(is));
+    if (read_pod<std::uint8_t>(is) != 0)
+      dos.set(b, units::LogDoS(read_pod<double>(is)));
   return dos;
 }
 
@@ -146,9 +148,9 @@ double Framework::log_total_states() const {
   return log_multinomial(counts);
 }
 
-double Framework::normalized_energy(double energy) const {
+double Framework::normalized_energy(units::Energy energy) const {
   const double frac =
-      (energy - grid_.e_min()) / (grid_.e_max() - grid_.e_min());
+      (energy.value() - grid_.e_min()) / (grid_.e_max() - grid_.e_min());
   return std::clamp(frac, 0.0, 1.0);
 }
 
@@ -219,7 +221,8 @@ nn::TrainReport Framework::pretrain_impl(ckpt::CheckpointStore* store,
     mc::Rng init_rng(options_.seed, stream_id(0xAA, 0));
     lattice::Configuration cfg =
         lattice::random_configuration(lattice_, options_.n_species, init_rng);
-    mc::MetropolisSampler sampler(hamiltonian_, cfg, po.t_hi,
+    mc::MetropolisSampler sampler(hamiltonian_, cfg,
+                                  units::Temperature(po.t_hi),
                                   mc::Rng(options_.seed, stream_id(0xAA, 1)));
     mc::LocalSwapProposal kernel(hamiltonian_);
 
@@ -231,7 +234,7 @@ nn::TrainReport Framework::pretrain_impl(ckpt::CheckpointStore* store,
               : static_cast<double>(t_idx) /
                     static_cast<double>(po.n_temperatures - 1);
       const double t = po.t_hi * std::pow(po.t_lo / po.t_hi, frac);
-      sampler.set_temperature(t);
+      sampler.set_temperature(units::Temperature(t));
       sampler.run(kernel, po.equilibration_sweeps);
       for (int k = 0; k < po.samples_per_temperature; ++k) {
         sampler.run(kernel, po.sweeps_between_samples);
@@ -412,7 +415,7 @@ DeepThermoResult Framework::run() {
           grid_.n_bins(), options_.rewl.n_windows, options_.rewl.overlap);
       const int window_id = rank / options_.rewl.walkers_per_window;
       const auto& w = windows[static_cast<std::size_t>(window_id)];
-      const double centre = grid_.energy((w.lo_bin + w.hi_bin) / 2);
+      const units::Energy centre(grid_.energy((w.lo_bin + w.hi_bin) / 2));
       st.kernel->vae_kernel().set_condition(
           {static_cast<float>(normalized_energy(centre))});
     }
@@ -632,7 +635,7 @@ DeepThermoResult Framework::run() {
     result.production_seconds = production_clock.seconds();
   }
 
-  result.dos.normalize(log_total_states());
+  result.dos.normalize(units::LogWeight(log_total_states()));
   obs::HealthRegistry::global().set_phase("done");
 
   obs::Telemetry& telemetry = obs::Telemetry::instance();

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "common/units.hpp"
 #include "core/mixed_kernel.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
@@ -185,7 +186,7 @@ class Framework {
 
   /// Energy mapped to [0, 1] over the grid range (the conditional-VAE
   /// condition signal).
-  [[nodiscard]] double normalized_energy(double energy) const;
+  [[nodiscard]] double normalized_energy(units::Energy energy) const;
 
   /// Steps 2-3: generate training data and fit the VAE. Called by run()
   /// when needed; callable directly for experiments. Returns the report

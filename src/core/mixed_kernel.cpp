@@ -21,7 +21,7 @@ DeepThermoProposal::DeepThermoProposal(
 }
 
 mc::ProposalResult DeepThermoProposal::propose(lattice::Configuration& cfg,
-                                               double current_energy,
+                                               units::Energy current_energy,
                                                mc::Rng& rng) {
   // Component choice must be state-independent for the mixture to remain
   // a valid MH kernel; a fixed Bernoulli qualifies.

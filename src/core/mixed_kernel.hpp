@@ -32,7 +32,8 @@ class DeepThermoProposal final : public mc::Proposal {
                      std::shared_ptr<nn::Vae> vae, double global_fraction);
 
   mc::ProposalResult propose(lattice::Configuration& cfg,
-                             double current_energy, mc::Rng& rng) override;
+                             units::Energy current_energy,
+                             mc::Rng& rng) override;
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override { return "deepthermo"; }
 

@@ -101,7 +101,7 @@ void VaeProposal::invalidate_decode_cache() {
   buffer_pos_ = buffer_fill_ = 0;
 }
 
-double VaeProposal::sequential_log_density_scratch(
+units::LogWeight VaeProposal::sequential_log_density_scratch(
     std::span<const float> probs, std::span<const std::uint8_t> occupancy,
     int n_species, std::vector<double>& remaining) {
   const auto s = static_cast<std::size_t>(n_species);
@@ -139,7 +139,7 @@ double VaeProposal::sequential_log_density_scratch(
       }
       rem[chosen] -= 1.0;
     }
-    return log_q + std::log(run);
+    return units::LogWeight(log_q + std::log(run));
   }
   for (std::size_t i = 0; i < n; ++i) {
     const float* block = &probs[i * s];
@@ -158,10 +158,10 @@ double VaeProposal::sequential_log_density_scratch(
     }
     remaining[chosen] -= 1.0;
   }
-  return log_q + std::log(run);
+  return units::LogWeight(log_q + std::log(run));
 }
 
-double VaeProposal::sequential_log_density(
+units::LogWeight VaeProposal::sequential_log_density(
     std::span<const float> probs, std::span<const std::uint8_t> occupancy,
     int n_species) {
   std::vector<double> remaining(static_cast<std::size_t>(n_species), 0.0);
@@ -231,7 +231,8 @@ void VaeProposal::refill(const std::array<std::uint32_t, 2>& physics_key) {
 }
 
 mc::ProposalResult VaeProposal::propose(Configuration& cfg,
-                                        double current_energy, mc::Rng& rng) {
+                                        units::Energy current_energy,
+                                        mc::Rng& rng) {
   const auto n = static_cast<std::size_t>(cfg.num_sites());
   const auto s = static_cast<std::size_t>(cfg.n_species());
   DT_CHECK(static_cast<std::int64_t>(n) == vae_->options().n_sites);
@@ -346,8 +347,9 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
     // 4. Reverse density of the current state under the same z (the
     // s == 4 branch computes it fused into the sampling pass above).
     log_q_rev = sequential_log_density_scratch(
-        std::span<const float>(probs, n * s), saved_, cfg.n_species(),
-        remaining_);
+                    std::span<const float>(probs, n * s), saved_,
+                    cfg.n_species(), remaining_)
+                    .value();
   }
   log_q_fwd += std::log(run_fwd);
 
@@ -386,7 +388,7 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
     if (telem) delta_sparse_->add();
   } else {
     cfg.assign(candidate_);
-    delta_energy = hamiltonian_->total_energy(cfg) - current_energy;
+    delta_energy = hamiltonian_->total_energy(cfg) - current_energy.value();
     if (telem) delta_full_->add();
   }
 
@@ -417,8 +419,8 @@ mc::ProposalResult VaeProposal::propose(Configuration& cfg,
 
   mc::ProposalResult result;
   result.valid = true;
-  result.delta_energy = delta_energy;
-  result.log_q_ratio = log_q_rev - log_q_fwd;
+  result.delta_energy = units::DeltaEnergy(delta_energy);
+  result.log_q_ratio = units::LogWeight(log_q_rev - log_q_fwd);
   return result;
 }
 

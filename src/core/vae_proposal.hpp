@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "lattice/hamiltonian.hpp"
+#include "common/units.hpp"
 #include "mc/proposal.hpp"
 #include "nn/vae.hpp"
 #include "obs/metrics.hpp"
@@ -102,7 +103,8 @@ class VaeProposal final : public mc::Proposal {
   ~VaeProposal() override;
 
   mc::ProposalResult propose(lattice::Configuration& cfg,
-                             double current_energy, mc::Rng& rng) override;
+                             units::Energy current_energy,
+                             mc::Rng& rng) override;
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override { return "vae-global"; }
   [[nodiscard]] bool is_global() const override { return true; }
@@ -184,7 +186,7 @@ class VaeProposal final : public mc::Proposal {
   /// Exact log-density of `occupancy` under the constrained sequential
   /// process with per-site probabilities `probs` (n_sites*n_species).
   /// Exposed for tests.
-  static double sequential_log_density(
+  static units::LogWeight sequential_log_density(
       std::span<const float> probs, std::span<const std::uint8_t> occupancy,
       int n_species);
 
@@ -195,7 +197,7 @@ class VaeProposal final : public mc::Proposal {
 
   /// sequential_log_density against caller-provided scratch (the static
   /// public overload allocates; the hot path must not).
-  static double sequential_log_density_scratch(
+  static units::LogWeight sequential_log_density_scratch(
       std::span<const float> probs, std::span<const std::uint8_t> occupancy,
       int n_species, std::vector<double>& remaining);
 

@@ -16,23 +16,24 @@ DensityOfStates::DensityOfStates(const EnergyGrid& grid)
       log_g_(static_cast<std::size_t>(grid.n_bins()), 0.0),
       visited_(static_cast<std::size_t>(grid.n_bins()), 0) {}
 
-void DensityOfStates::add(std::int32_t bin, double delta_log_f) {
+void DensityOfStates::add(std::int32_t bin, units::LogWeight delta_log_f) {
   auto i = static_cast<std::size_t>(bin);
   DT_CHECK(bin >= 0 && bin < grid_.n_bins());
   // Finite-ln-g is a class invariant: a NaN/Inf entering one fragment
   // would silently poison every stitch/normalize/thermo downstream.
-  DT_CHECK_MSG(std::isfinite(delta_log_f),
-               "DOS add: non-finite ln f increment " << delta_log_f);
-  log_g_[i] += delta_log_f;
+  DT_CHECK_MSG(std::isfinite(delta_log_f.value()),
+               "DOS add: non-finite ln f increment " << delta_log_f.value());
+  log_g_[i] += delta_log_f.value();
   visited_[i] = 1;
 }
 
-void DensityOfStates::set(std::int32_t bin, double value) {
+void DensityOfStates::set(std::int32_t bin, units::LogDoS value) {
   auto i = static_cast<std::size_t>(bin);
   DT_CHECK(bin >= 0 && bin < grid_.n_bins());
-  DT_CHECK_MSG(std::isfinite(value),
-               "DOS set: non-finite ln g " << value << " at bin " << bin);
-  log_g_[i] = value;
+  DT_CHECK_MSG(std::isfinite(value.value()),
+               "DOS set: non-finite ln g " << value.value() << " at bin "
+                                           << bin);
+  log_g_[i] = value.value();
   visited_[i] = 1;
 }
 
@@ -53,19 +54,19 @@ std::int32_t DensityOfStates::last_visited() const {
   return -1;
 }
 
-void DensityOfStates::shift(double delta) {
+void DensityOfStates::shift(units::LogWeight delta) {
   for (std::int32_t b = 0; b < grid_.n_bins(); ++b)
     if (visited_[static_cast<std::size_t>(b)])
-      log_g_[static_cast<std::size_t>(b)] += delta;
+      log_g_[static_cast<std::size_t>(b)] += delta.value();
 }
 
-void DensityOfStates::normalize(double log_total_states) {
+void DensityOfStates::normalize(units::LogWeight log_total_states) {
   std::vector<double> vals;
   for (std::int32_t b = 0; b < grid_.n_bins(); ++b)
     if (visited_[static_cast<std::size_t>(b)])
       vals.push_back(log_g_[static_cast<std::size_t>(b)]);
   DT_CHECK_MSG(!vals.empty(), "cannot normalize an empty DOS");
-  shift(log_total_states - log_sum_exp(vals));
+  shift(units::LogWeight(log_total_states.value() - log_sum_exp(vals)));
 }
 
 double DensityOfStates::log_range() const {
@@ -103,7 +104,7 @@ DensityOfStates DensityOfStates::stitch(
     // Defense in depth against fragments deserialised or assembled
     // outside the class invariant (add/set reject non-finite values).
     for (std::int32_t b = p.first_visited(); b <= p.last_visited(); ++b)
-      DT_CHECK_MSG(!p.visited(b) || std::isfinite(p.log_g(b)),
+      DT_CHECK_MSG(!p.visited(b) || std::isfinite(p.log_g(b).value()),
                    "stitch: non-finite ln g at bin " << b);
     ordered.push_back(&p);
   }
@@ -131,8 +132,8 @@ DensityOfStates DensityOfStates::stitch(
       if (!prev.visited(b) || !prev.visited(b + 1) || !cur.visited(b) ||
           !cur.visited(b + 1))
         continue;
-      const double slope_prev = prev.log_g(b + 1) - prev.log_g(b);
-      const double slope_cur = cur.log_g(b + 1) - cur.log_g(b);
+      const double slope_prev = (prev.log_g(b + 1) - prev.log_g(b)).value();
+      const double slope_cur = (cur.log_g(b + 1) - cur.log_g(b)).value();
       const double mismatch = std::abs(slope_prev - slope_cur);
       if (mismatch < best_mismatch) {
         best_mismatch = mismatch;
@@ -145,14 +146,16 @@ DensityOfStates DensityOfStates::stitch(
       for (std::int32_t b = std::max<std::int32_t>(0, lo);
            b <= hi; ++b) {
         if (!prev.visited(b) || !cur.visited(b)) continue;
-        acc += (prev.log_g(b) + offset[k - 1]) - cur.log_g(b);
+        acc += (prev.log_g(b).value() + offset[k - 1]) - cur.log_g(b).value();
         ++n;
       }
       DT_CHECK_MSG(n > 0, "stitch: fragments " << k - 1 << " and " << k
                                                << " share no visited bins");
       offset[k] = acc / n;
     } else {
-      offset[k] = (prev.log_g(best_bin) + offset[k - 1]) - cur.log_g(best_bin);
+      offset[k] =
+          (prev.log_g(best_bin).value() + offset[k - 1]) -
+          cur.log_g(best_bin).value();
     }
   }
 
@@ -162,13 +165,14 @@ DensityOfStates DensityOfStates::stitch(
   for (std::size_t k = 0; k < ordered.size(); ++k) {
     for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
       if (!ordered[k]->visited(b)) continue;
-      sum[static_cast<std::size_t>(b)] += ordered[k]->log_g(b) + offset[k];
+      sum[static_cast<std::size_t>(b)] +=
+          ordered[k]->log_g(b).value() + offset[k];
       ++hits[static_cast<std::size_t>(b)];
     }
   }
   for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
     const auto i = static_cast<std::size_t>(b);
-    if (hits[i] > 0) out.set(b, sum[i] / hits[i]);
+    if (hits[i] > 0) out.set(b, units::LogDoS(sum[i] / hits[i]));
   }
   return out;
 }
@@ -190,7 +194,7 @@ DensityOfStates DensityOfStates::load(std::istream& is) {
   DensityOfStates dos(EnergyGrid(e_min, e_max, n_bins));
   std::int32_t bin = 0;
   double energy = 0.0, lg = 0.0;
-  while (is >> bin >> energy >> lg) dos.set(bin, lg);
+  while (is >> bin >> energy >> lg) dos.set(bin, units::LogDoS(lg));
   // The loop must stop at end-of-stream, not at a malformed entry:
   // stream extraction rejects "nan"/"inf" tokens, and silently
   // truncating there would drop bins instead of surfacing corruption.

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "mc/energy_grid.hpp"
 
 namespace dt::mc {
@@ -27,12 +28,13 @@ class DensityOfStates {
   [[nodiscard]] bool visited(std::int32_t bin) const {
     return visited_[static_cast<std::size_t>(bin)];
   }
-  [[nodiscard]] double log_g(std::int32_t bin) const {
-    return log_g_[static_cast<std::size_t>(bin)];
+  [[nodiscard]] units::LogDoS log_g(std::int32_t bin) const {
+    return units::LogDoS(log_g_[static_cast<std::size_t>(bin)]);
   }
 
-  void add(std::int32_t bin, double delta_log_f);
-  void set(std::int32_t bin, double value);
+  /// Reinforce ln g at `bin` by the modification factor ln f.
+  void add(std::int32_t bin, units::LogWeight delta_log_f);
+  void set(std::int32_t bin, units::LogDoS value);
 
   [[nodiscard]] std::int32_t num_visited() const;
   /// First/last visited bin; -1 when nothing is visited.
@@ -40,10 +42,11 @@ class DensityOfStates {
   [[nodiscard]] std::int32_t last_visited() const;
 
   /// Shift all visited ln g by a constant.
-  void shift(double delta);
+  void shift(units::LogWeight delta);
 
-  /// Anchor so that log-sum-exp over visited bins == log_total_states.
-  void normalize(double log_total_states);
+  /// Anchor so that log-sum-exp over visited bins == log_total_states
+  /// (the ln of the exact state count of the sampled ensemble).
+  void normalize(units::LogWeight log_total_states);
 
   /// Span of ln g over visited bins (the paper's "range of ~e^10,000").
   [[nodiscard]] double log_range() const;

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace dt::mc {
 
 class EnergyGrid {
@@ -29,6 +31,9 @@ class EnergyGrid {
     auto b = static_cast<std::int32_t>((energy - e_min_) / width_);
     if (b == n_bins_) b = n_bins_ - 1;  // right edge inclusive
     return b;
+  }
+  [[nodiscard]] std::int32_t bin(units::Energy energy) const {
+    return bin(energy.value());
   }
 
   /// Centre energy of `bin`.

@@ -8,18 +8,18 @@ namespace dt::mc {
 
 MetropolisSampler::MetropolisSampler(const lattice::EpiHamiltonian& hamiltonian,
                                      lattice::Configuration& cfg,
-                                     double temperature, Rng rng)
+                                     units::Temperature temperature, Rng rng)
     : hamiltonian_(&hamiltonian),
       cfg_(&cfg),
-      temperature_(temperature),
+      beta_(units::to_beta(temperature)),
       energy_(hamiltonian.total_energy(cfg)),
       rng_(rng) {
-  DT_CHECK_MSG(temperature > 0.0, "temperature must be positive");
+  DT_CHECK_MSG(temperature.value() > 0.0, "temperature must be positive");
 }
 
-void MetropolisSampler::set_temperature(double t) {
-  DT_CHECK_MSG(t > 0.0, "temperature must be positive");
-  temperature_ = t;
+void MetropolisSampler::set_temperature(units::Temperature t) {
+  DT_CHECK_MSG(t.value() > 0.0, "temperature must be positive");
+  beta_ = units::to_beta(t);
 }
 
 bool MetropolisSampler::step(Proposal& proposal) {
@@ -28,9 +28,10 @@ bool MetropolisSampler::step(Proposal& proposal) {
   if (!r.valid) return false;
 
   // MH acceptance: ln A = -beta dE + ln q(x|x') - ln q(x'|x).
-  const double log_accept =
-      -r.delta_energy / temperature_ + r.log_q_ratio;
-  if (log_accept >= 0.0 || uniform01(rng_) < std::exp(log_accept)) {
+  const units::LogWeight log_accept =
+      -(beta_ * r.delta_energy) + r.log_q_ratio;
+  if (units::metropolis_accept(
+          log_accept, [&] { return units::Prob(uniform01(rng_)); })) {
     energy_ += r.delta_energy;
     ++stats_.accepted;
     return true;
@@ -52,8 +53,8 @@ void MetropolisSampler::run(Proposal& proposal, std::int64_t n_sweeps,
   }
 }
 
-double MetropolisSampler::recompute_energy() const {
-  return hamiltonian_->total_energy(*cfg_);
+units::Energy MetropolisSampler::recompute_energy() const {
+  return units::Energy(hamiltonian_->total_energy(*cfg_));
 }
 
 }  // namespace dt::mc

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "mc/proposal.hpp"
@@ -30,8 +31,8 @@ class MetropolisSampler {
   /// Samples exp(-E/T). The configuration is owned by the caller and
   /// mutated in place; `cfg` must be consistent with `hamiltonian`.
   MetropolisSampler(const lattice::EpiHamiltonian& hamiltonian,
-                    lattice::Configuration& cfg, double temperature,
-                    Rng rng);
+                    lattice::Configuration& cfg,
+                    units::Temperature temperature, Rng rng);
 
   /// One attempted move. Returns true if accepted.
   bool step(Proposal& proposal);
@@ -44,26 +45,29 @@ class MetropolisSampler {
   void run(Proposal& proposal, std::int64_t n_sweeps,
            const std::function<void(std::int64_t)>& on_sweep = {});
 
-  [[nodiscard]] double energy() const { return energy_; }
-  [[nodiscard]] double temperature() const { return temperature_; }
-  void set_temperature(double t);
+  [[nodiscard]] units::Energy energy() const { return energy_; }
+  [[nodiscard]] units::Temperature temperature() const {
+    return units::to_temperature(beta_);
+  }
+  [[nodiscard]] units::Beta beta() const { return beta_; }
+  void set_temperature(units::Temperature t);
   [[nodiscard]] const MetropolisStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   [[nodiscard]] lattice::Configuration& configuration() { return *cfg_; }
 
   /// Re-derive the cached energy from scratch (bookkeeping audit).
-  [[nodiscard]] double recompute_energy() const;
+  [[nodiscard]] units::Energy recompute_energy() const;
 
   /// Overwrite the cached energy -- for replica-exchange drivers that
   /// swap configurations underneath the sampler. The value must equal
   /// the true energy of the (externally modified) configuration.
-  void set_energy(double energy) { energy_ = energy; }
+  void set_energy(units::Energy energy) { energy_ = energy; }
 
  private:
   const lattice::EpiHamiltonian* hamiltonian_;
   lattice::Configuration* cfg_;
-  double temperature_;
-  double energy_;
+  units::Beta beta_;
+  units::Energy energy_;
   Rng rng_;
   MetropolisStats stats_;
 };

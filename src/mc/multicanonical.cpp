@@ -14,10 +14,10 @@ MulticanonicalSampler::MulticanonicalSampler(
       reference_(&reference),
       histogram_(reference.grid()),
       rng_(rng),
-      energy_(hamiltonian.total_energy(cfg)) {
+      energy_(units::Energy(hamiltonian.total_energy(cfg))) {
   current_bin_ = reference.grid().bin(energy_);
   DT_CHECK_MSG(current_bin_ >= 0 && reference.visited(current_bin_),
-               "multicanonical: start energy " << energy_
+               "multicanonical: start energy " << energy_.value()
                                                << " outside the reference "
                                                   "DOS support");
 }
@@ -29,7 +29,7 @@ bool MulticanonicalSampler::step(Proposal& proposal) {
     histogram_.record(current_bin_);
     return false;
   }
-  const double new_energy = energy_ + r.delta_energy;
+  const units::Energy new_energy = energy_ + r.delta_energy;
   const std::int32_t new_bin = reference_->grid().bin(new_energy);
   if (new_bin < 0 || !reference_->visited(new_bin)) {
     // Outside the reference support: weights are undefined there, so the
@@ -39,9 +39,11 @@ bool MulticanonicalSampler::step(Proposal& proposal) {
     histogram_.record(current_bin_);
     return false;
   }
-  const double log_accept = reference_->log_g(current_bin_) -
-                            reference_->log_g(new_bin) + r.log_q_ratio;
-  if (log_accept >= 0.0 || uniform01(rng_) < std::exp(log_accept)) {
+  const units::LogWeight log_accept =
+      (reference_->log_g(current_bin_) - reference_->log_g(new_bin)) +
+      r.log_q_ratio;
+  if (units::metropolis_accept(
+          log_accept, [&] { return units::Prob(uniform01(rng_)); })) {
     energy_ = new_energy;
     current_bin_ = new_bin;
     ++stats_.accepted;
@@ -73,7 +75,7 @@ DensityOfStates MulticanonicalSampler::refined_dos() const {
     const auto count = histogram_.count(b);
     if (count == 0 || !reference_->visited(b)) continue;
     out.set(b, reference_->log_g(b) +
-                   std::log(static_cast<double>(count)));
+                   units::LogWeight(std::log(static_cast<double>(count))));
   }
   return out;
 }

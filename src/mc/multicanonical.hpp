@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "mc/dos.hpp"
@@ -55,7 +56,7 @@ class MulticanonicalSampler {
            const std::function<void(const MulticanonicalSampler&)>&
                on_sweep = {});
 
-  [[nodiscard]] double energy() const { return energy_; }
+  [[nodiscard]] units::Energy energy() const { return energy_; }
   [[nodiscard]] std::int32_t current_bin() const { return current_bin_; }
   [[nodiscard]] const Histogram& histogram() const { return histogram_; }
   [[nodiscard]] const MulticanonicalStats& stats() const { return stats_; }
@@ -75,7 +76,7 @@ class MulticanonicalSampler {
   Histogram histogram_;
   Rng rng_;
   MulticanonicalStats stats_;
-  double energy_;
+  units::Energy energy_;
   std::int32_t current_bin_ = -1;
 };
 

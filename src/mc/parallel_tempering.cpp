@@ -38,7 +38,8 @@ ParallelTempering::ParallelTempering(const lattice::EpiHamiltonian& hamiltonian,
     configs_.push_back(std::make_unique<lattice::Configuration>(
         lattice::random_configuration(lat, n_species, init)));
     samplers_.push_back(std::make_unique<MetropolisSampler>(
-        *hamiltonian_, *configs_.back(), options_.temperatures[i],
+        *hamiltonian_, *configs_.back(),
+        units::Temperature(options_.temperatures[i]),
         Rng(options_.seed, stream_id(0x5759, i))));
   }
   pair_stats_.resize(n - 1);
@@ -61,19 +62,19 @@ void ParallelTempering::attempt_exchanges() {
     auto& stats = pair_stats_[static_cast<std::size_t>(i)];
     ++stats.attempted;
 
-    const double beta_lo = 1.0 / lo.temperature();
-    const double beta_hi = 1.0 / hi.temperature();
-    const double log_a =
-        (beta_lo - beta_hi) * (lo.energy() - hi.energy());
-    if (log_a >= 0.0 || uniform01(exchange_rng_) < std::exp(log_a)) {
+    const units::LogWeight log_a = units::exchange_log_weight(
+        lo.beta(), hi.beta(), lo.energy(), hi.energy());
+    if (units::metropolis_accept(log_a, [&] {
+          return units::Prob(uniform01(exchange_rng_));
+        })) {
       ++stats.accepted;
       // Swap the configurations (samplers keep their temperatures).
       lattice::Configuration& ca = lo.configuration();
       lattice::Configuration& cb = hi.configuration();
       std::vector<std::uint8_t> tmp(ca.occupancy().begin(),
                                     ca.occupancy().end());
-      const double e_lo = lo.energy();
-      const double e_hi = hi.energy();
+      const units::Energy e_lo = lo.energy();
+      const units::Energy e_hi = hi.energy();
       ca.assign(cb.occupancy());
       cb.assign(tmp);
       // Energies travel with the configurations.

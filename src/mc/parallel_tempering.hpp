@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "mc/metropolis.hpp"
@@ -58,8 +59,9 @@ class ParallelTempering {
   [[nodiscard]] int n_replicas() const {
     return static_cast<int>(options_.temperatures.size());
   }
-  [[nodiscard]] double temperature(int replica) const {
-    return options_.temperatures[static_cast<std::size_t>(replica)];
+  [[nodiscard]] units::Temperature temperature(int replica) const {
+    return units::Temperature(
+        options_.temperatures[static_cast<std::size_t>(replica)]);
   }
   [[nodiscard]] MetropolisSampler& replica(int index) {
     return *samplers_[static_cast<std::size_t>(index)];

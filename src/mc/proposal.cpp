@@ -14,7 +14,7 @@ LocalSwapProposal::LocalSwapProposal(const EpiHamiltonian& hamiltonian)
     : hamiltonian_(&hamiltonian) {}
 
 ProposalResult LocalSwapProposal::propose(Configuration& cfg,
-                                          double /*current_energy*/,
+                                          units::Energy /*current_energy*/,
                                           Rng& rng) {
   const auto n = static_cast<std::uint64_t>(cfg.num_sites());
   site_a_ = static_cast<std::int32_t>(uniform_index(rng, n));
@@ -36,8 +36,9 @@ ProposalResult LocalSwapProposal::propose(Configuration& cfg,
 
   ProposalResult result;
   result.valid = true;
-  result.delta_energy = hamiltonian_->swap_delta(cfg, site_a_, site_b_);
-  result.log_q_ratio = 0.0;
+  result.delta_energy =
+      units::DeltaEnergy(hamiltonian_->swap_delta(cfg, site_a_, site_b_));
+  result.log_q_ratio = units::LogWeight(0.0);
   cfg.swap(site_a_, site_b_);
   return result;
 }
@@ -57,7 +58,7 @@ BlockSwapProposal::BlockSwapProposal(const EpiHamiltonian& hamiltonian,
 }
 
 ProposalResult BlockSwapProposal::propose(Configuration& cfg,
-                                          double /*current_energy*/,
+                                          units::Energy /*current_energy*/,
                                           Rng& rng) {
   const lattice::Lattice& lat = cfg.lattice();
   applied_.clear();
@@ -82,7 +83,7 @@ ProposalResult BlockSwapProposal::propose(Configuration& cfg,
 
   ProposalResult result;
   result.valid = true;
-  result.log_q_ratio = 0.0;
+  result.log_q_ratio = units::LogWeight(0.0);
 
   double delta = 0.0;
   for (int k = 0; k < n_swaps_; ++k) {
@@ -97,7 +98,7 @@ ProposalResult BlockSwapProposal::propose(Configuration& cfg,
     cfg.swap(i, j);
     applied_.emplace_back(i, j);
   }
-  result.delta_energy = delta;
+  result.delta_energy = units::DeltaEnergy(delta);
   return result;
 }
 
@@ -114,7 +115,8 @@ MixtureProposal::MixtureProposal(Proposal& local, Proposal& global,
 }
 
 ProposalResult MixtureProposal::propose(Configuration& cfg,
-                                        double current_energy, Rng& rng) {
+                                        units::Energy current_energy,
+                                        Rng& rng) {
   last_was_global_ = uniform01(rng) < global_fraction_;
   Proposal& component = last_was_global_ ? *global_ : *local_;
   return component.propose(cfg, current_energy, rng);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 
@@ -31,8 +32,9 @@ using Rng = Philox4x32;
 
 struct ProposalResult {
   bool valid = false;       ///< false: no move proposed (treat as rejected)
-  double delta_energy = 0.0;
-  double log_q_ratio = 0.0; ///< ln q(x|x') - ln q(x'|x); 0 when symmetric
+  units::DeltaEnergy delta_energy{0.0};
+  /// ln q(x|x') - ln q(x'|x); 0 when symmetric.
+  units::LogWeight log_q_ratio{0.0};
 };
 
 class Proposal {
@@ -42,7 +44,7 @@ class Proposal {
   /// Mutate `cfg` into the candidate state. `current_energy` lets global
   /// kernels report delta_energy without a second full evaluation.
   virtual ProposalResult propose(lattice::Configuration& cfg,
-                                 double current_energy, Rng& rng) = 0;
+                                 units::Energy current_energy, Rng& rng) = 0;
 
   /// Undo the mutation of the most recent propose() call.
   virtual void revert(lattice::Configuration& cfg) = 0;
@@ -75,8 +77,8 @@ class LocalSwapProposal final : public Proposal {
  public:
   explicit LocalSwapProposal(const lattice::EpiHamiltonian& hamiltonian);
 
-  ProposalResult propose(lattice::Configuration& cfg, double current_energy,
-                         Rng& rng) override;
+  ProposalResult propose(lattice::Configuration& cfg,
+                         units::Energy current_energy, Rng& rng) override;
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override { return "local-swap"; }
 
@@ -94,8 +96,8 @@ class BlockSwapProposal final : public Proposal {
   BlockSwapProposal(const lattice::EpiHamiltonian& hamiltonian,
                     int block_cells, int n_swaps);
 
-  ProposalResult propose(lattice::Configuration& cfg, double current_energy,
-                         Rng& rng) override;
+  ProposalResult propose(lattice::Configuration& cfg,
+                         units::Energy current_energy, Rng& rng) override;
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override { return "block-swap"; }
 
@@ -114,8 +116,8 @@ class MixtureProposal final : public Proposal {
  public:
   MixtureProposal(Proposal& local, Proposal& global, double global_fraction);
 
-  ProposalResult propose(lattice::Configuration& cfg, double current_energy,
-                         Rng& rng) override;
+  ProposalResult propose(lattice::Configuration& cfg,
+                         units::Energy current_energy, Rng& rng) override;
   void revert(lattice::Configuration& cfg) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_global() const override { return false; }

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/units.hpp"
 
 namespace dt::mc {
 
@@ -25,7 +26,7 @@ WhamResult wham(const EnergyGrid& grid,
   std::vector<double> betas(n_temps);
   std::vector<double> log_n(n_temps);  // ln N_k
   for (std::size_t k = 0; k < n_temps; ++k) {
-    betas[k] = 1.0 / temperatures[k];
+    betas[k] = units::to_beta(units::Temperature(temperatures[k])).value();
     const auto total = histograms[k].total();
     DT_CHECK_MSG(total > 0, "wham: empty histogram for T index " << k);
     log_n[k] = std::log(static_cast<double>(total));
@@ -84,7 +85,7 @@ WhamResult wham(const EnergyGrid& grid,
   result.dos = DensityOfStates(grid);
   for (std::size_t b = 0; b < n_bins; ++b)
     if (log_g[b] != kNegInf)
-      result.dos.set(static_cast<std::int32_t>(b), log_g[b]);
+      result.dos.set(static_cast<std::int32_t>(b), units::LogDoS(log_g[b]));
   result.log_z.assign(n_temps, 0.0);
   for (std::size_t k = 0; k < n_temps; ++k) result.log_z[k] = -f[k];
   return result;

@@ -9,9 +9,10 @@
 
 namespace dt::mc {
 
-ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature) {
-  DT_CHECK_MSG(temperature > 0.0, "temperature must be positive");
-  const double beta = 1.0 / temperature;
+ThermoPoint evaluate_thermo(const DensityOfStates& dos,
+                            units::Temperature temperature) {
+  DT_CHECK_MSG(temperature.value() > 0.0, "temperature must be positive");
+  const units::Beta beta = units::to_beta(temperature);
   const EnergyGrid& grid = dos.grid();
 
   // ln Z and the log-weights; means computed with shifted weights so the
@@ -21,7 +22,9 @@ ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature) {
   logw.reserve(static_cast<std::size_t>(grid.n_bins()));
   for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
     if (!dos.visited(b)) continue;
-    logw.push_back(dos.log_g(b) - beta * grid.energy(b));
+    // ln g(E) - beta E: LogDoS - (Beta * Energy) stays in the log domain.
+    logw.push_back(
+        (dos.log_g(b) - beta * units::Energy(grid.energy(b))).value());
     energies.push_back(grid.energy(b));
   }
   DT_CHECK_MSG(!logw.empty(), "thermo: empty DOS");
@@ -36,14 +39,15 @@ ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature) {
   }
 
   ThermoPoint pt;
-  pt.temperature = temperature;
+  pt.temperature = temperature.value();
   pt.log_z = log_z;
   pt.internal_energy = mean_e.value();
   const double var =
       std::max(0.0, mean_e2.value() - mean_e.value() * mean_e.value());
-  pt.specific_heat = beta * beta * var;
-  pt.free_energy = -temperature * log_z;
-  pt.entropy = (pt.internal_energy - pt.free_energy) / temperature;
+  pt.specific_heat = beta.value() * beta.value() * var;
+  pt.free_energy = -temperature.value() * log_z;
+  pt.entropy =
+      (pt.internal_energy - pt.free_energy) / temperature.value();
   return pt;
 }
 
@@ -51,7 +55,8 @@ std::vector<ThermoPoint> thermo_scan(const DensityOfStates& dos,
                                      const std::vector<double>& temperatures) {
   std::vector<ThermoPoint> out;
   out.reserve(temperatures.size());
-  for (double t : temperatures) out.push_back(evaluate_thermo(dos, t));
+  for (double t : temperatures)
+    out.push_back(evaluate_thermo(dos, units::Temperature(t)));
   return out;
 }
 

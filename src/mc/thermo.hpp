@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/units.hpp"
 #include "mc/dos.hpp"
 
 namespace dt::mc {
@@ -25,8 +26,10 @@ struct ThermoPoint {
   double specific_heat = 0.0;   ///< Cv = beta^2 Var(E)
 };
 
-/// Observables at a single temperature (T > 0).
-ThermoPoint evaluate_thermo(const DensityOfStates& dos, double temperature);
+/// Observables at a single temperature (T > 0). ThermoPoint itself stays
+/// raw double: it is a telemetry/report record, not an acceptance path.
+ThermoPoint evaluate_thermo(const DensityOfStates& dos,
+                            units::Temperature temperature);
 
 /// Observables over a temperature scan.
 std::vector<ThermoPoint> thermo_scan(const DensityOfStates& dos,

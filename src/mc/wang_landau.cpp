@@ -23,7 +23,7 @@ WangLandauSampler::WangLandauSampler(const lattice::EpiHamiltonian& hamiltonian,
       histogram_(grid),
       rng_(rng),
       log_f_(options.log_f_initial),
-      energy_(hamiltonian.total_energy(cfg)) {
+      energy_(units::Energy(hamiltonian.total_energy(cfg))) {
   if (options_.window_lo_bin < 0) options_.window_lo_bin = 0;
   if (options_.window_hi_bin < 0) options_.window_hi_bin = grid.n_bins() - 1;
   DT_CHECK(options_.window_lo_bin <= options_.window_hi_bin);
@@ -42,7 +42,7 @@ void WangLandauSampler::mark_visited(std::int32_t bin) {
 void WangLandauSampler::update_current(std::int32_t bin) {
   current_bin_ = bin;
   mark_visited(bin);
-  dos_.add(bin, log_f_);
+  dos_.add(bin, units::LogWeight(log_f_));
   histogram_.record(bin);
 
   // Round-trip bookkeeping between the window edges (with a small band so
@@ -70,7 +70,7 @@ bool WangLandauSampler::step(Proposal& proposal) {
     return false;
   }
 
-  const double new_energy = energy_ + r.delta_energy;
+  const units::Energy new_energy = energy_ + r.delta_energy;
   const std::int32_t new_bin = dos_.grid().bin(new_energy);
   if (new_bin < window_lo() || new_bin > window_hi()) {
     // Standard WL boundary handling: reject and reinforce the current bin.
@@ -81,9 +81,10 @@ bool WangLandauSampler::step(Proposal& proposal) {
   }
 
   // ln A = ln g(old) - ln g(new) + [ln q(x|x') - ln q(x'|x)].
-  const double log_accept =
-      dos_.log_g(current_bin_) - dos_.log_g(new_bin) + r.log_q_ratio;
-  if (log_accept >= 0.0 || uniform01(rng_) < std::exp(log_accept)) {
+  const units::LogWeight log_accept =
+      (dos_.log_g(current_bin_) - dos_.log_g(new_bin)) + r.log_q_ratio;
+  if (units::metropolis_accept(
+          log_accept, [&] { return units::Prob(uniform01(rng_)); })) {
     energy_ = new_energy;
     ++stats_.accepted;
     // First visit of a bin late in the run would otherwise start from
@@ -199,7 +200,8 @@ bool WangLandauSampler::seek_window(Proposal& proposal,
   const double target_hi =
       grid.e_min() + grid.bin_width() * (static_cast<double>(window_hi()) + 1.0);
 
-  auto distance = [&](double e) {
+  auto distance = [&](units::Energy en) {
+    const double e = en.value();
     if (e < target_lo) return target_lo - e;
     if (e > target_hi) return e - target_hi;
     return 0.0;
@@ -211,7 +213,7 @@ bool WangLandauSampler::seek_window(Proposal& proposal,
     for (std::int64_t i = 0; i < n; ++i) {
       const ProposalResult r = proposal.propose(*cfg_, energy_, rng_);
       if (!r.valid) continue;
-      const double new_energy = energy_ + r.delta_energy;
+      const units::Energy new_energy = energy_ + r.delta_energy;
       // Greedy: accept moves that do not increase the distance to the
       // window. Plateaus are escaped by the stochastic proposal itself.
       if (distance(new_energy) <= distance(energy_)) {
@@ -226,15 +228,15 @@ bool WangLandauSampler::seek_window(Proposal& proposal,
   return current_bin_ >= window_lo() && current_bin_ <= window_hi();
 }
 
-double WangLandauSampler::log_g_at(double e) const {
+units::LogDoS WangLandauSampler::log_g_at(units::Energy e) const {
   const std::int32_t bin = dos_.grid().bin(e);
   if (bin < window_lo() || bin > window_hi() || bin < 0)
-    return std::numeric_limits<double>::infinity();
+    return units::LogDoS(std::numeric_limits<double>::infinity());
   return dos_.log_g(bin);
 }
 
 void WangLandauSampler::adopt(const lattice::Configuration& cfg,
-                              double energy) {
+                              units::Energy energy) {
   cfg_->assign(cfg.occupancy());
   energy_ = energy;
   const std::int32_t new_bin = dos_.grid().bin(energy);
@@ -260,7 +262,7 @@ void WangLandauSampler::save_state(std::ostream& os) const {
   write_pod(os, options_.window_lo_bin);
   write_pod(os, options_.window_hi_bin);
 
-  write_pod(os, energy_);
+  write_pod(os, energy_.value());
   write_pod(os, log_f_);
   write_pod(os, current_bin_);
   write_pod(os, trip_direction_);
@@ -281,7 +283,8 @@ void WangLandauSampler::save_state(std::ostream& os) const {
   std::vector<double> values(visited.size(), 0.0);
   for (std::int32_t b = 0; b < dos_.grid().n_bins(); ++b) {
     visited[static_cast<std::size_t>(b)] = dos_.visited(b) ? 1 : 0;
-    if (dos_.visited(b)) values[static_cast<std::size_t>(b)] = dos_.log_g(b);
+    if (dos_.visited(b))
+      values[static_cast<std::size_t>(b)] = dos_.log_g(b).value();
   }
   write_vector(os, visited);
   write_vector(os, values);
@@ -298,7 +301,7 @@ void WangLandauSampler::load_state(std::istream& is) {
                    read_pod<std::int32_t>(is) == options_.window_hi_bin,
                "WL checkpoint: window mismatch");
 
-  energy_ = read_pod<double>(is);
+  energy_ = units::Energy(read_pod<double>(is));
   log_f_ = read_pod<double>(is);
   current_bin_ = read_pod<std::int32_t>(is);
   trip_direction_ = read_pod<int>(is);
@@ -324,16 +327,16 @@ void WangLandauSampler::load_state(std::istream& is) {
   dos_ = DensityOfStates(dos_.grid());
   for (std::int32_t b = 0; b < dos_.grid().n_bins(); ++b)
     if (visited[static_cast<std::size_t>(b)])
-      dos_.set(b, values[static_cast<std::size_t>(b)]);
+      dos_.set(b, units::LogDoS(values[static_cast<std::size_t>(b)]));
   // Audit tolerance scales with system size: the incrementally updated
   // energy accumulates rounding drift proportional to the number of
   // per-site delta additions, so a fixed 1e-6 rejects legitimate
   // checkpoints of large lattices after long delta-update runs.
   const double audit_tol =
       1e-9 * static_cast<double>(cfg_->num_sites()) *
-      std::max(1.0, std::abs(energy_));
-  DT_CHECK_MSG(std::abs(energy_ - hamiltonian_->total_energy(*cfg_)) <
-                   audit_tol,
+      std::max(1.0, std::abs(energy_.value()));
+  DT_CHECK_MSG(std::abs(energy_.value() -
+                        hamiltonian_->total_energy(*cfg_)) < audit_tol,
                "WL checkpoint: energy/configuration inconsistency");
 }
 
@@ -341,23 +344,23 @@ std::pair<double, double> estimate_energy_range(
     const lattice::EpiHamiltonian& hamiltonian, lattice::Configuration cfg,
     std::int64_t quench_sweeps, double pad_fraction, Rng rng) {
   LocalSwapProposal proposal(hamiltonian);
-  double energy = hamiltonian.total_energy(cfg);
+  const units::Energy energy{hamiltonian.total_energy(cfg)};
   const auto n = static_cast<std::int64_t>(cfg.num_sites());
 
   auto quench = [&](double sign) {
-    double e = energy;
+    units::Energy e = energy;
     for (std::int64_t s = 0; s < quench_sweeps; ++s) {
       for (std::int64_t i = 0; i < n; ++i) {
         const ProposalResult r = proposal.propose(cfg, e, rng);
         if (!r.valid) continue;
-        if (sign * r.delta_energy <= 0.0) {
+        if (sign * r.delta_energy.value() <= 0.0) {
           e += r.delta_energy;
         } else {
           proposal.revert(cfg);
         }
       }
     }
-    return e;
+    return e.value();
   };
 
   // Low edge from the current state; high edge continuing from there

@@ -15,6 +15,7 @@
 #include <functional>
 #include <iosfwd>
 
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "mc/dos.hpp"
@@ -98,7 +99,7 @@ class WangLandauSampler {
   [[nodiscard]] const Histogram& histogram() const { return histogram_; }
   [[nodiscard]] const WangLandauStats& stats() const { return stats_; }
   [[nodiscard]] double log_f() const { return log_f_; }
-  [[nodiscard]] double energy() const { return energy_; }
+  [[nodiscard]] units::Energy energy() const { return energy_; }
   /// Absolute position of the walker's Philox stream (checkpoint
   /// verification: a resumed run must match draw-for-draw).
   [[nodiscard]] std::uint64_t rng_position() const { return rng_.position(); }
@@ -109,11 +110,11 @@ class WangLandauSampler {
   /// Replica exchange support: current ln g value at an arbitrary energy
   /// (+inf when outside the window / unvisited, making exchanges into
   /// unknown territory auto-accepted -- the REWL convention).
-  [[nodiscard]] double log_g_at(double e) const;
+  [[nodiscard]] units::LogDoS log_g_at(units::Energy e) const;
 
   /// Adopt a configuration (from a replica exchange); energy is trusted
   /// from the partner and audited in debug builds.
-  void adopt(const lattice::Configuration& cfg, double energy);
+  void adopt(const lattice::Configuration& cfg, units::Energy energy);
 
   /// Check ln-f stage flatness immediately (normally driven by run()).
   [[nodiscard]] bool stage_flat() const;
@@ -139,7 +140,7 @@ class WangLandauSampler {
   Rng rng_;
   WangLandauStats stats_;
   double log_f_;
-  double energy_;
+  units::Energy energy_;
   std::int32_t current_bin_ = -1;
   // Round-trip bookkeeping: -1 heading down (towards lo), +1 heading up.
   int trip_direction_ = 0;

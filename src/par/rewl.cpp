@@ -12,6 +12,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "mc/proposal.hpp"
 #include "obs/health.hpp"
@@ -60,7 +61,8 @@ std::vector<double> dos_to_wire(const mc::DensityOfStates& dos) {
   const auto n = static_cast<std::size_t>(dos.grid().n_bins());
   std::vector<double> wire(n, std::numeric_limits<double>::quiet_NaN());
   for (std::int32_t b = 0; b < dos.grid().n_bins(); ++b)
-    if (dos.visited(b)) wire[static_cast<std::size_t>(b)] = dos.log_g(b);
+    if (dos.visited(b))
+      wire[static_cast<std::size_t>(b)] = dos.log_g(b).value();
   return wire;
 }
 
@@ -69,7 +71,7 @@ mc::DensityOfStates dos_from_wire(const mc::EnergyGrid& grid,
   mc::DensityOfStates dos(grid);
   for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
     const double v = wire[static_cast<std::size_t>(b)];
-    if (!std::isnan(v)) dos.set(b, v);
+    if (!std::isnan(v)) dos.set(b, units::LogDoS(v));
   }
   return dos;
 }
@@ -303,21 +305,25 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         if (is_lower) {
           // Protocol: lower sends E_x, upper answers with
           // (E_y, ln g_j(E_y), ln g_j(E_x)); lower decides.
-          comm.send_value(partner, kTagEnergy, walker.energy());
+          comm.send_value(partner, kTagEnergy, walker.energy().value());
           const auto reply = comm.recv<double>(partner, kTagReply);
           const double e_y = reply[0];
           const double lgj_ey = reply[1];
           const double lgj_ex = reply[2];
-          const double lgi_ex = walker.log_g_at(walker.energy());
-          const double lgi_ey = walker.log_g_at(e_y);
+          const units::LogDoS lgi_ex = walker.log_g_at(walker.energy());
+          const units::LogDoS lgi_ey =
+              walker.log_g_at(units::Energy(e_y));
 
           ++exch.attempted;
           if (obs::instrumentation_active()) exch_attempted_total.add();
           bool accept = false;
-          if (std::isfinite(lgi_ey) && std::isfinite(lgj_ex)) {
-            const double log_a =
-                (lgi_ex - lgi_ey) + (lgj_ey - lgj_ex);
-            accept = log_a >= 0.0 || uniform01(exch_rng) < std::exp(log_a);
+          if (std::isfinite(lgi_ey.value()) && std::isfinite(lgj_ex)) {
+            // ln A = [ln g_i(E_x) - ln g_i(E_y)] + [ln g_j(E_y) - ln g_j(E_x)]
+            const units::LogWeight log_a =
+                (lgi_ex - lgi_ey) +
+                units::LogWeight(lgj_ey - lgj_ex);
+            accept = units::metropolis_accept(
+                log_a, [&] { return units::Prob(uniform01(exch_rng)); });
           }
           // Pair EWMA: recorded once per attempt, by the deciding
           // (lower) walker; pair index == lower window id.
@@ -335,13 +341,14 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                 comm.recv<std::uint8_t>(partner, kTagConfigDown);
             lattice::Configuration incoming(lat, n_species);
             incoming.assign(theirs);
-            walker.adopt(incoming, e_y);
+            walker.adopt(incoming, units::Energy(e_y));
           }
         } else {
           const double e_x = comm.recv_value<double>(partner, kTagEnergy);
-          const double reply[3] = {walker.energy(),
-                                   walker.log_g_at(walker.energy()),
-                                   walker.log_g_at(e_x)};
+          const double reply[3] = {
+              walker.energy().value(),
+              walker.log_g_at(walker.energy()).value(),
+              walker.log_g_at(units::Energy(e_x)).value()};
           comm.send<double>(partner, kTagReply,
                             std::span<const double>(reply, 3));
           const auto accept =
@@ -355,7 +362,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                     walker.configuration().occupancy().data(), n_sites));
             lattice::Configuration incoming(lat, n_species);
             incoming.assign(theirs);
-            walker.adopt(incoming, e_x);
+            walker.adopt(incoming, units::Energy(e_x));
           }
         }
       }
@@ -384,7 +391,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
         sample.f_stage = st.f_stages_completed;
         sample.acceptance = st.acceptance_rate();
         sample.round_trips = st.round_trips;
-        sample.energy = walker.energy();
+        sample.energy = walker.energy().value();
         sample.converged = walker.converged();
         for (const auto& [field, value] : kernel_telemetry) {
           if (field == "local_proposed")
@@ -503,7 +510,7 @@ RewlResult run_rewl(const lattice::EpiHamiltonian& hamiltonian,
                          exch.attempted,
                          exch.accepted,
                          walker.converged() ? 1 : 0,
-                         walker.energy(),
+                         walker.energy().value(),
                          walker.rng_position()};
     if (rank == 0) {
       std::vector<WireReport> reports(

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/strfmt.hpp"
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "validate/stats.hpp"
 
@@ -75,12 +76,14 @@ BalanceReport check_detailed_balance(
   }
 
   // Canonical target, normalised with an energy shift for stability.
-  const double beta = 1.0 / options.temperature;
+  const units::Beta beta =
+      units::to_beta(units::Temperature(options.temperature));
   const double e_min = *std::min_element(energy.begin(), energy.end());
   std::vector<double> pi(n_states, 0.0);
   KahanSum z_sum;
   for (std::size_t i = 0; i < n_states; ++i) {
-    pi[i] = std::exp(-beta * (energy[i] - e_min));
+    pi[i] = std::exp(
+        (-(beta * units::DeltaEnergy(energy[i] - e_min))).value());
     z_sum.add(pi[i]);
   }
   for (auto& p : pi) p /= z_sum.value();
@@ -97,7 +100,8 @@ BalanceReport check_detailed_balance(
   for (std::size_t i = 0; i < n_states; ++i) {
     cfg.assign(states[i]);
     for (std::uint64_t t = 0; t < m; ++t) {
-      const auto res = proposal.propose(cfg, energy[i], rng);
+      const auto res =
+          proposal.propose(cfg, units::Energy(energy[i]), rng);
       ++report.n_proposals;
       if (!res.valid) {
         // Contract (mirrors the samplers): an invalid result proposed no
@@ -116,14 +120,16 @@ BalanceReport check_detailed_balance(
       }
       const std::size_t j = it->second;
       const double de_err =
-          std::abs(res.delta_energy - (energy[j] - energy[i])) /
+          std::abs(res.delta_energy.value() - (energy[j] - energy[i])) /
           std::max(1.0, std::abs(energy[i]));
       report.max_delta_energy_error =
           std::max(report.max_delta_energy_error, de_err);
       if (audit) audit(res, states[i], after);
 
-      const double alpha = std::min(
-          1.0, std::exp(-beta * res.delta_energy + res.log_q_ratio));
+      const units::LogWeight log_alpha =
+          -(beta * res.delta_energy) + res.log_q_ratio;
+      const double alpha =
+          std::min(1.0, units::exp(log_alpha).value());
       flow[i * n_states + j] += alpha;
       flow2[i * n_states + j] += alpha * alpha;
       ++tries[i * n_states + j];

@@ -212,8 +212,8 @@ std::shared_ptr<const ExactOracle> ExactOracle::get(
   return fresh;
 }
 
-double ExactOracle::log_g_at(double energy) const {
-  const long long key = std::llround(energy / quantum_);
+units::LogDoS ExactOracle::log_g_at(units::Energy energy) const {
+  const long long key = std::llround(energy.value() / quantum_);
   // levels_ is energy-ascending; binary search by quantised key.
   const auto it = std::lower_bound(
       levels_.begin(), levels_.end(), key,
@@ -221,8 +221,8 @@ double ExactOracle::log_g_at(double energy) const {
         return std::llround(level.energy / quantum_) < k;
       });
   if (it == levels_.end() || std::llround(it->energy / quantum_) != key)
-    return kNegInf;
-  return std::log(it->count);
+    return units::LogDoS(kNegInf);
+  return units::LogDoS(std::log(it->count));
 }
 
 mc::DensityOfStates ExactOracle::to_dos(const mc::EnergyGrid& grid) const {
@@ -236,7 +236,8 @@ mc::DensityOfStates ExactOracle::to_dos(const mc::EnergyGrid& grid) const {
   mc::DensityOfStates dos(grid);
   for (std::int32_t b = 0; b < grid.n_bins(); ++b)
     if (counts[static_cast<std::size_t>(b)] > 0.0)
-      dos.set(b, std::log(counts[static_cast<std::size_t>(b)]));
+      dos.set(b, units::LogDoS(
+                      std::log(counts[static_cast<std::size_t>(b)])));
   return dos;
 }
 
@@ -244,9 +245,10 @@ mc::EnergyGrid ExactOracle::make_grid(std::int32_t n_bins, double pad) const {
   return mc::EnergyGrid(e_min_ - pad, e_max_ + pad, n_bins);
 }
 
-mc::ThermoPoint ExactOracle::thermo(double temperature) const {
-  DT_CHECK_MSG(temperature > 0.0, "oracle thermo: temperature must be > 0");
-  const double beta = 1.0 / temperature;
+mc::ThermoPoint ExactOracle::thermo(units::Temperature temperature) const {
+  DT_CHECK_MSG(temperature.value() > 0.0,
+               "oracle thermo: temperature must be > 0");
+  const double beta = units::to_beta(temperature).value();
   std::vector<double> logw;
   logw.reserve(levels_.size());
   for (const auto& level : levels_)
@@ -261,14 +263,15 @@ mc::ThermoPoint ExactOracle::thermo(double temperature) const {
   }
 
   mc::ThermoPoint pt;
-  pt.temperature = temperature;
+  pt.temperature = temperature.value();
   pt.log_z = log_z;
   pt.internal_energy = mean_e.value();
   const double var =
       std::max(0.0, mean_e2.value() - mean_e.value() * mean_e.value());
   pt.specific_heat = beta * beta * var;
-  pt.free_energy = -temperature * log_z;
-  pt.entropy = (pt.internal_energy - pt.free_energy) / temperature;
+  pt.free_energy = -temperature.value() * log_z;
+  pt.entropy =
+      (pt.internal_energy - pt.free_energy) / temperature.value();
   return pt;
 }
 
@@ -276,14 +279,15 @@ std::vector<mc::ThermoPoint> ExactOracle::thermo_scan(
     const std::vector<double>& temperatures) const {
   std::vector<mc::ThermoPoint> out;
   out.reserve(temperatures.size());
-  for (const double t : temperatures) out.push_back(thermo(t));
+  for (const double t : temperatures)
+    out.push_back(thermo(units::Temperature(t)));
   return out;
 }
 
 std::vector<double> ExactOracle::level_probabilities(
-    double temperature) const {
-  DT_CHECK_MSG(temperature > 0.0, "oracle: temperature must be > 0");
-  const double beta = 1.0 / temperature;
+    units::Temperature temperature) const {
+  DT_CHECK_MSG(temperature.value() > 0.0, "oracle: temperature must be > 0");
+  const double beta = units::to_beta(temperature).value();
   std::vector<double> logw;
   logw.reserve(levels_.size());
   for (const auto& level : levels_)
@@ -295,7 +299,7 @@ std::vector<double> ExactOracle::level_probabilities(
   return probs;
 }
 
-double ExactOracle::mean_sro(double temperature) const {
+double ExactOracle::mean_sro(units::Temperature temperature) const {
   DT_CHECK_MSG(with_sro_, "oracle: enumerated without with_sro");
   const auto probs = level_probabilities(temperature);
   double out = 0.0;

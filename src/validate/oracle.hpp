@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "lattice/configuration.hpp"
 #include "lattice/hamiltonian.hpp"
 #include "lattice/lattice.hpp"
@@ -92,7 +93,7 @@ class ExactOracle {
 
   /// Exact ln g of the level containing `energy` (quantised key match);
   /// -inf when no level sits there.
-  [[nodiscard]] double log_g_at(double energy) const;
+  [[nodiscard]] units::LogDoS log_g_at(units::Energy energy) const;
 
   /// Exact DOS projected onto `grid`: each bin holds ln of the summed
   /// degeneracies of the levels it contains. Throws if any level falls
@@ -105,7 +106,7 @@ class ExactOracle {
 
   /// Exact canonical observables at temperature T (log-domain over the
   /// exact levels -- no grid discretisation error).
-  [[nodiscard]] mc::ThermoPoint thermo(double temperature) const;
+  [[nodiscard]] mc::ThermoPoint thermo(units::Temperature temperature) const;
   [[nodiscard]] std::vector<mc::ThermoPoint> thermo_scan(
       const std::vector<double>& temperatures) const;
 
@@ -114,10 +115,10 @@ class ExactOracle {
   /// distribution of a correct fixed-T sampler, ready for
   /// chi_square_expected / ks_discrete.
   [[nodiscard]] std::vector<double> level_probabilities(
-      double temperature) const;
+      units::Temperature temperature) const;
 
   /// Exact canonical <sro_magnitude(shell 0)>(T); requires with_sro.
-  [[nodiscard]] double mean_sro(double temperature) const;
+  [[nodiscard]] double mean_sro(units::Temperature temperature) const;
 
   /// Golden-reference serialisation (plain text, rename-atomic on save).
   void save(std::ostream& os) const;

@@ -1,0 +1,5 @@
+#pragma once
+// Layering leak: commonx is a leaf in layers.txt, so reaching up into
+// mcx inverts the declared DAG.
+// EXPECT-VIOLATION: module-layering
+#include "mcx/sampler.hpp"

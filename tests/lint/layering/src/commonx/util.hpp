@@ -1,0 +1,3 @@
+#pragma once
+// Leaf-module header: includes nothing, violates nothing.
+inline int commonx_util() { return 1; }

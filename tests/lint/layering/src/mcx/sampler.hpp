@@ -1,0 +1,4 @@
+#pragma once
+// Declared edge mcx -> commonx: legal.
+#include "commonx/util.hpp"
+inline int mcx_sampler() { return commonx_util(); }

@@ -1,0 +1,4 @@
+#pragma once
+// Undeclared edge mcx -> commonx, suppressed by allow.txt (symbol is
+// the target module), so this case must report nothing.
+#include "commonx/util.hpp"

@@ -1,0 +1,4 @@
+#pragma once
+// Clean module file: the allow.txt entry naming this file suppresses
+// nothing, so the linter must fail with the stale-entry config error.
+inline int commonx_clean() { return 0; }

@@ -1,0 +1,3 @@
+#pragma once
+// Never scanned: the cyclic layers.txt fails parsing first.
+inline int a() { return 0; }

@@ -1,0 +1,12 @@
+// unit-discipline fixture: bare-double physics parameters must be the
+// strong types of common/units.hpp.
+
+// EXPECT-VIOLATION: unit-discipline   (double temperature)
+void set_temperature(double temperature);
+
+// EXPECT-VIOLATION: unit-discipline   (double delta_energy)
+// EXPECT-VIOLATION: unit-discipline   (double log_q_ratio)
+double acceptance(double delta_energy, double log_q_ratio);
+
+// EXPECT-VIOLATION: unit-discipline   (double beta, trailing param)
+int weight(int bin, double beta);

@@ -1,0 +1,27 @@
+// unit-discipline negative fixture: struct members, locals and
+// non-domain parameter names stay raw double without complaint -- the
+// rule matches *parameters* only (name directly followed by ',' or
+// ')'), which is what keeps the serialisation/config/telemetry
+// boundary legal.
+
+struct ThermoRecord {
+  double temperature = 0.0;  // config/telemetry member, not a parameter
+  double internal_energy = 0.0;
+  double log_z = 0.0;
+};
+
+void accumulate() {
+  double energy = 0.0;  // local, not a parameter
+  double log_q_ratio = 0.0;
+  energy += log_q_ratio;
+  (void)energy;
+}
+
+// Non-domain names stay raw.
+void grid(double e_min, double width);
+
+// Typed parameters are exactly the point.
+namespace units {
+class Energy;
+}
+void step(const units::Energy& current);

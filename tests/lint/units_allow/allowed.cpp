@@ -1,0 +1,6 @@
+// unit-discipline allowlist fixture: the violation below is suppressed
+// by allow.txt (symbol-scoped to the parameter name), so the case must
+// report nothing.
+
+// Deliberate raw-double boundary twin (suppressed via allow.txt):
+int bin_of(double energy);

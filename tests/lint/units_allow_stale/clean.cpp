@@ -1,0 +1,5 @@
+// unit-discipline stale-allowlist fixture: this file is clean, so the
+// allow.txt entry naming it suppresses nothing and the linter must
+// fail with a config error (the allowlist cannot rot).
+
+void typed_only(int bins);

@@ -8,11 +8,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "ckpt/fault.hpp"
 #include "ckpt/signal.hpp"
 #include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "common/units.hpp"
 
 namespace dt::ckpt {
 namespace {
@@ -72,6 +75,33 @@ TEST(Checkpoint, EncodeDecodeRoundTripsComponents) {
   EXPECT_EQ(ck.blob("beta"), std::string("\x00\x01\x02\xff", 4));
   EXPECT_EQ(ck.blob("gamma"), "streamed");
   EXPECT_EQ(ck.names().size(), 3u);
+}
+
+TEST(Checkpoint, PreRefactorRawDoublePayloadStaysBitExact) {
+  // Checkpoints written before the typed-units refactor serialized bare
+  // doubles. The typed layer (common/units.hpp) must not change that
+  // byte layout: a payload authored with raw write_pod<double> values
+  // decodes unchanged, and wrapping the read value in a unit type is a
+  // bit-exact no-op.
+  const double energy = -123.456789e-3;
+  const double log_f = 2.7182818284590452;
+  std::ostringstream legacy;
+  write_pod(legacy, energy);
+  write_pod(legacy, log_f);
+
+  std::ostringstream typed;
+  write_pod(typed, units::Energy(energy).value());
+  write_pod(typed, units::LogWeight(log_f).value());
+  ASSERT_EQ(legacy.str(), typed.str());
+
+  CheckpointBuilder builder;
+  builder.add("walker", legacy.str());
+  const auto ck = Checkpoint::decode(builder.encode(3));
+  std::istringstream is(ck.blob("walker"));
+  const units::Energy e_back(read_pod<double>(is));
+  const units::LogWeight f_back(read_pod<double>(is));
+  EXPECT_EQ(e_back.value(), energy);
+  EXPECT_EQ(f_back.value(), log_f);
 }
 
 TEST(Checkpoint, DuplicateComponentNameThrows) {

@@ -128,7 +128,7 @@ TEST(ConditionalVaeProposal, DetailedBalanceWithFixedCondition) {
   // Exact Boltzmann level marginals from the shared enumeration oracle.
   const auto oracle = validate::ExactOracle::get(
       ham, lat, validate::equiatomic_composition(n, 2));
-  const auto probs = oracle->level_probabilities(temperature);
+  const auto probs = oracle->level_probabilities(units::Temperature(temperature));
 
   auto vae = std::make_shared<nn::Vae>(cvae_opts(), 11);
   core::VaeProposal prop(ham, vae);
@@ -136,13 +136,14 @@ TEST(ConditionalVaeProposal, DetailedBalanceWithFixedCondition) {
 
   mc::Rng rng(12, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(12, 1));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
+                                mc::Rng(12, 1));
   std::map<long long, double> counts;
   const int steps = 120000;
   for (int s = 0; s < 2000; ++s) sampler.step(prop);
   for (int s = 0; s < steps; ++s) {
     sampler.step(prop);
-    counts[std::llround(4 * sampler.energy())] += 1.0;
+    counts[std::llround(4 * sampler.energy().value())] += 1.0;
   }
   const auto& levels = oracle->levels();
   for (std::size_t i = 0; i < levels.size(); ++i) {

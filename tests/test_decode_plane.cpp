@@ -51,12 +51,12 @@ Trajectory run_trajectory(VaeProposal& prop,
   Trajectory t;
   double energy = ham.total_energy(cfg);
   for (int i = 0; i < steps; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
-    energy += r.delta_energy;
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
+    energy += r.delta_energy.value();
     t.occupancies.emplace_back(cfg.occupancy().begin(),
                                cfg.occupancy().end());
-    t.delta_energies.push_back(r.delta_energy);
-    t.log_q_ratios.push_back(r.log_q_ratio);
+    t.delta_energies.push_back(r.delta_energy.value());
+    t.log_q_ratios.push_back(r.log_q_ratio.value());
     t.rng_positions.push_back(rng.position());
   }
   return t;
@@ -111,12 +111,12 @@ TEST(DecodePlane, BitwiseEqualAcrossWalkerAndBatchCounts) {
         for (int w = 0; w < n_walkers; ++w) {
           const auto wi = static_cast<std::size_t>(w);
           const auto r =
-              props[wi]->propose(cfgs[wi], energies[wi], rngs[wi]);
-          energies[wi] += r.delta_energy;
+              props[wi]->propose(cfgs[wi], units::Energy(energies[wi]), rngs[wi]);
+          energies[wi] += r.delta_energy.value();
           got[wi].occupancies.emplace_back(cfgs[wi].occupancy().begin(),
                                            cfgs[wi].occupancy().end());
-          got[wi].delta_energies.push_back(r.delta_energy);
-          got[wi].log_q_ratios.push_back(r.log_q_ratio);
+          got[wi].delta_energies.push_back(r.delta_energy.value());
+          got[wi].log_q_ratios.push_back(r.log_q_ratio.value());
           got[wi].rng_positions.push_back(rngs[wi].position());
         }
       }
@@ -293,7 +293,7 @@ TEST(DecodePlane, InvalidateClearsLastProbsSpan) {
   prop.attach_decode_plane(plane);
   mc::Rng rng(11, 0);
   auto cfg = lattice::random_configuration(lat, 4, rng);
-  (void)prop.propose(cfg, ham.total_energy(cfg), rng);
+  (void)prop.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
   ASSERT_FALSE(prop.last_probs().empty());
   prop.invalidate_decode_cache();
   EXPECT_TRUE(prop.last_probs().empty());

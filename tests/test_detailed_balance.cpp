@@ -100,11 +100,11 @@ TEST(DetailedBalance, VaeDecodeAheadKernel) {
     const auto probs = prop.last_probs();
     ASSERT_FALSE(probs.empty());
     const double lq_rev =
-        core::VaeProposal::sequential_log_density(probs, before, 2);
+        core::VaeProposal::sequential_log_density(probs, before, 2).value();
     const double lq_fwd =
-        core::VaeProposal::sequential_log_density(probs, after, 2);
-    worst = std::max(worst,
-                     std::abs(res.log_q_ratio - (lq_rev - lq_fwd)));
+        core::VaeProposal::sequential_log_density(probs, after, 2).value();
+    worst = std::max(
+        worst, std::abs(res.log_q_ratio.value() - (lq_rev - lq_fwd)));
     ++audited;
   };
 
@@ -129,9 +129,10 @@ class BiasedSwapProposal final : public mc::Proposal {
   explicit BiasedSwapProposal(const lattice::EpiHamiltonian& ham)
       : inner_(ham) {}
   mc::ProposalResult propose(lattice::Configuration& cfg,
-                             double current_energy, mc::Rng& rng) override {
+                             units::Energy current_energy,
+                             mc::Rng& rng) override {
     auto r = inner_.propose(cfg, current_energy, rng);
-    if (r.valid) r.log_q_ratio += 2.0;  // the lie
+    if (r.valid) r.log_q_ratio += units::LogWeight(2.0);  // the lie
     return r;
   }
   void revert(lattice::Configuration& cfg) override { inner_.revert(cfg); }

@@ -10,9 +10,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "mc/dos.hpp"
 #include "obs/telemetry.hpp"
 
 namespace dt::core {
@@ -81,7 +83,7 @@ Observed observe_run(const DeepThermoOptions& opts) {
   obs::Telemetry::instance().disable();
   EXPECT_TRUE(result.rewl.converged);
   for (std::int32_t b = 0; b < result.grid.n_bins(); ++b)
-    if (result.dos.visited(b)) obs.log_g.emplace_back(b, result.dos.log_g(b));
+    if (result.dos.visited(b)) obs.log_g.emplace_back(b, result.dos.log_g(b).value());
   obs.walker_energies = result.rewl.walker_energies;
   obs.walker_rng_positions = result.rewl.walker_rng_positions;
   obs.vae_loss_trace = result.vae_loss_trace;
@@ -104,6 +106,36 @@ TEST(Determinism, SameSeedReproducesBitExactly) {
   ASSERT_FALSE(first.event_counts.empty());
   EXPECT_GT(first.event_counts.count("rewl_walker"), 0u);
   EXPECT_EQ(first.event_counts, second.event_counts);
+}
+
+TEST(Determinism, DosSerializationStaysRawDoubleAfterTypedRefactor) {
+  // The typed-units refactor (common/units.hpp) must leave every
+  // serialization format byte-identical to the pre-refactor raw-double
+  // layout, or old checkpoints stop resuming bit-exactly. The DOS text
+  // format is the canonical cross-PR artefact: assert the typed
+  // accessors neither tag nor perturb the stored numbers.
+  // Values chosen to survive the text format's default 6-significant-
+  // digit rendering exactly.
+  const mc::EnergyGrid grid(-2.0, 2.0, 8);
+  mc::DensityOfStates dos(grid);
+  dos.set(0, units::LogDoS(0.125));
+  dos.set(3, units::LogDoS(-107.25));
+  dos.set(7, units::LogDoS(10000.5));  // paper-scale ln g magnitude
+
+  std::ostringstream os;
+  dos.save(os);
+  const std::string text = os.str();
+  // Raw numeric text only: a leaked typed ostream printer would emit a
+  // domain tag like "lng(...)".
+  EXPECT_EQ(text.find('('), std::string::npos) << text;
+
+  std::istringstream is(text);
+  const auto back = mc::DensityOfStates::load(is);
+  for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
+    ASSERT_EQ(back.visited(b), dos.visited(b)) << "bin " << b;
+    if (dos.visited(b))
+      EXPECT_EQ(back.log_g(b).value(), dos.log_g(b).value()) << "bin " << b;
+  }
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {

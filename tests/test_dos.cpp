@@ -16,10 +16,10 @@ EnergyGrid grid100() { return EnergyGrid(0.0, 100.0, 100); }
 TEST(Dos, AddAndVisitTracking) {
   DensityOfStates dos(grid100());
   EXPECT_FALSE(dos.visited(5));
-  dos.add(5, 1.0);
-  dos.add(5, 0.5);
+  dos.add(5, units::LogWeight(1.0));
+  dos.add(5, units::LogWeight(0.5));
   EXPECT_TRUE(dos.visited(5));
-  EXPECT_DOUBLE_EQ(dos.log_g(5), 1.5);
+  EXPECT_DOUBLE_EQ(dos.log_g(5).value(), 1.5);
   EXPECT_EQ(dos.num_visited(), 1);
 }
 
@@ -27,58 +27,58 @@ TEST(Dos, FirstLastVisited) {
   DensityOfStates dos(grid100());
   EXPECT_EQ(dos.first_visited(), -1);
   EXPECT_EQ(dos.last_visited(), -1);
-  dos.set(10, 1.0);
-  dos.set(42, 2.0);
+  dos.set(10, units::LogDoS(1.0));
+  dos.set(42, units::LogDoS(2.0));
   EXPECT_EQ(dos.first_visited(), 10);
   EXPECT_EQ(dos.last_visited(), 42);
 }
 
 TEST(Dos, ShiftOnlyTouchesVisited) {
   DensityOfStates dos(grid100());
-  dos.set(3, 1.0);
-  dos.shift(10.0);
-  EXPECT_DOUBLE_EQ(dos.log_g(3), 11.0);
-  EXPECT_DOUBLE_EQ(dos.log_g(4), 0.0);
+  dos.set(3, units::LogDoS(1.0));
+  dos.shift(units::LogWeight(10.0));
+  EXPECT_DOUBLE_EQ(dos.log_g(3).value(), 11.0);
+  EXPECT_DOUBLE_EQ(dos.log_g(4).value(), 0.0);
   EXPECT_FALSE(dos.visited(4));
 }
 
 TEST(Dos, NormalizeAnchorsLogSumExp) {
   DensityOfStates dos(grid100());
-  dos.set(0, 5.0);
-  dos.set(1, 6.0);
-  dos.set(2, 4.0);
+  dos.set(0, units::LogDoS(5.0));
+  dos.set(1, units::LogDoS(6.0));
+  dos.set(2, units::LogDoS(4.0));
   const double target = std::log(1000.0);
-  dos.normalize(target);
-  const std::vector<double> vals = {dos.log_g(0), dos.log_g(1), dos.log_g(2)};
+  dos.normalize(units::LogWeight(target));
+  const std::vector<double> vals = {dos.log_g(0).value(), dos.log_g(1).value(), dos.log_g(2).value()};
   EXPECT_NEAR(log_sum_exp(vals), target, 1e-10);
   // Relative values preserved.
-  EXPECT_NEAR(dos.log_g(1) - dos.log_g(0), 1.0, 1e-12);
+  EXPECT_NEAR(dos.log_g(1).value() - dos.log_g(0).value(), 1.0, 1e-12);
 }
 
 TEST(Dos, NormalizeEmptyThrows) {
   DensityOfStates dos(grid100());
-  EXPECT_THROW(dos.normalize(0.0), dt::Error);
+  EXPECT_THROW(dos.normalize(units::LogWeight(0.0)), dt::Error);
 }
 
 TEST(Dos, LogRange) {
   DensityOfStates dos(grid100());
   EXPECT_DOUBLE_EQ(dos.log_range(), 0.0);
-  dos.set(0, -100.0);
-  dos.set(50, 9900.0);
+  dos.set(0, units::LogDoS(-100.0));
+  dos.set(50, units::LogDoS(9900.0));
   EXPECT_DOUBLE_EQ(dos.log_range(), 10000.0);
 }
 
 TEST(Dos, SaveLoadRoundTrip) {
   DensityOfStates dos(grid100());
-  dos.set(7, 1.25);
-  dos.set(31, -3.5);
+  dos.set(7, units::LogDoS(1.25));
+  dos.set(31, units::LogDoS(-3.5));
   std::stringstream ss;
   dos.save(ss);
   const DensityOfStates back = DensityOfStates::load(ss);
   EXPECT_EQ(back.grid(), dos.grid());
   EXPECT_EQ(back.num_visited(), 2);
-  EXPECT_DOUBLE_EQ(back.log_g(7), 1.25);
-  EXPECT_DOUBLE_EQ(back.log_g(31), -3.5);
+  EXPECT_DOUBLE_EQ(back.log_g(7).value(), 1.25);
+  EXPECT_DOUBLE_EQ(back.log_g(31).value(), -3.5);
   EXPECT_FALSE(back.visited(8));
 }
 
@@ -97,65 +97,65 @@ TEST(DosStitch, TwoFragmentsWithConstantOffset) {
     return 40.0 - x * x * 10.0;
   };
   DensityOfStates lo(grid), hi(grid);
-  for (std::int32_t b = 0; b <= 60; ++b) lo.set(b, truth(b));
-  for (std::int32_t b = 40; b < 100; ++b) hi.set(b, truth(b) + 123.0);
+  for (std::int32_t b = 0; b <= 60; ++b) lo.set(b, units::LogDoS(truth(b)));
+  for (std::int32_t b = 40; b < 100; ++b) hi.set(b, units::LogDoS(truth(b) + 123.0));
 
   const auto joined = DensityOfStates::stitch({lo, hi});
   EXPECT_EQ(joined.num_visited(), 100);
   // Offset invariance: compare curvature-free differences to the truth.
-  const double delta = joined.log_g(0) - truth(0);
+  const double delta = joined.log_g(0).value() - truth(0);
   for (std::int32_t b = 0; b < 100; ++b)
-    ASSERT_NEAR(joined.log_g(b), truth(b) + delta, 1e-9) << "bin " << b;
+    ASSERT_NEAR(joined.log_g(b).value(), truth(b) + delta, 1e-9) << "bin " << b;
 }
 
 TEST(DosStitch, ThreeFragmentsChain) {
   const EnergyGrid grid(0.0, 90.0, 90);
   auto truth = [](std::int32_t b) { return 0.5 * b; };
   DensityOfStates a(grid), b(grid), c(grid);
-  for (std::int32_t k = 0; k <= 40; ++k) a.set(k, truth(k));
-  for (std::int32_t k = 25; k <= 65; ++k) b.set(k, truth(k) - 50.0);
-  for (std::int32_t k = 50; k < 90; ++k) c.set(k, truth(k) + 7.0);
+  for (std::int32_t k = 0; k <= 40; ++k) a.set(k, units::LogDoS(truth(k)));
+  for (std::int32_t k = 25; k <= 65; ++k) b.set(k, units::LogDoS(truth(k) - 50.0));
+  for (std::int32_t k = 50; k < 90; ++k) c.set(k, units::LogDoS(truth(k) + 7.0));
   const auto joined = DensityOfStates::stitch({a, b, c});
-  const double delta = joined.log_g(0) - truth(0);
+  const double delta = joined.log_g(0).value() - truth(0);
   for (std::int32_t k = 0; k < 90; ++k)
-    ASSERT_NEAR(joined.log_g(k), truth(k) + delta, 1e-9);
+    ASSERT_NEAR(joined.log_g(k).value(), truth(k) + delta, 1e-9);
 }
 
 TEST(DosStitch, SparseOverlapFallsBackToOffsetMatch) {
   // Only two isolated common bins, no adjacent visited pairs.
   const EnergyGrid grid(0.0, 10.0, 10);
   DensityOfStates a(grid), b(grid);
-  a.set(0, 1.0);
-  a.set(4, 3.0);
-  b.set(4, 13.0);
-  b.set(9, 15.0);
+  a.set(0, units::LogDoS(1.0));
+  a.set(4, units::LogDoS(3.0));
+  b.set(4, units::LogDoS(13.0));
+  b.set(9, units::LogDoS(15.0));
   const auto joined = DensityOfStates::stitch({a, b});
-  EXPECT_NEAR(joined.log_g(9) - joined.log_g(0), (15.0 - 13.0 + 3.0) - 1.0,
+  EXPECT_NEAR(joined.log_g(9).value() - joined.log_g(0).value(), (15.0 - 13.0 + 3.0) - 1.0,
               1e-9);
 }
 
 TEST(DosStitch, DisjointFragmentsThrow) {
   const EnergyGrid grid(0.0, 10.0, 10);
   DensityOfStates a(grid), b(grid);
-  a.set(0, 1.0);
-  b.set(9, 1.0);
+  a.set(0, units::LogDoS(1.0));
+  b.set(9, units::LogDoS(1.0));
   EXPECT_THROW((void)DensityOfStates::stitch({a, b}), dt::Error);
 }
 
 TEST(DosStitch, MismatchedGridsThrow) {
   DensityOfStates a{EnergyGrid(0.0, 10.0, 10)};
   DensityOfStates b{EnergyGrid(0.0, 10.0, 20)};
-  a.set(0, 1.0);
-  b.set(0, 1.0);
+  a.set(0, units::LogDoS(1.0));
+  b.set(0, units::LogDoS(1.0));
   EXPECT_THROW((void)DensityOfStates::stitch({a, b}), dt::Error);
 }
 
 TEST(DosStitch, SingleFragmentPassesThrough) {
   const EnergyGrid grid(0.0, 10.0, 10);
   DensityOfStates a(grid);
-  a.set(2, 5.0);
+  a.set(2, units::LogDoS(5.0));
   const auto joined = DensityOfStates::stitch({a});
-  EXPECT_DOUBLE_EQ(joined.log_g(2), 5.0);
+  EXPECT_DOUBLE_EQ(joined.log_g(2).value(), 5.0);
   EXPECT_EQ(joined.num_visited(), 1);
 }
 
@@ -165,10 +165,10 @@ TEST(Dos, RejectsNonFiniteLnG) {
   DensityOfStates dos(grid100());
   const double nan = std::nan("");
   const double inf = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(dos.set(3, nan), dt::Error);
-  EXPECT_THROW(dos.set(3, inf), dt::Error);
-  EXPECT_THROW(dos.set(3, -inf), dt::Error);
-  EXPECT_THROW(dos.add(3, nan), dt::Error);
+  EXPECT_THROW(dos.set(3, units::LogDoS(nan)), dt::Error);
+  EXPECT_THROW(dos.set(3, units::LogDoS(inf)), dt::Error);
+  EXPECT_THROW(dos.set(3, units::LogDoS(-inf)), dt::Error);
+  EXPECT_THROW(dos.add(3, units::LogWeight(nan)), dt::Error);
   EXPECT_FALSE(dos.visited(3));  // the rejected write left no trace
 }
 
@@ -184,8 +184,8 @@ TEST(DosStitch, NonOverlappingWindowsThrow) {
   // must refuse, not invent an offset across the gap.
   const EnergyGrid grid(0.0, 30.0, 30);
   DensityOfStates lo(grid), hi(grid);
-  for (std::int32_t b = 0; b <= 13; ++b) lo.set(b, 0.1 * b);
-  for (std::int32_t b = 15; b <= 29; ++b) hi.set(b, 0.2 * b);
+  for (std::int32_t b = 0; b <= 13; ++b) lo.set(b, units::LogDoS(0.1 * b));
+  for (std::int32_t b = 15; b <= 29; ++b) hi.set(b, units::LogDoS(0.2 * b));
   EXPECT_THROW((void)DensityOfStates::stitch({lo, hi}), dt::Error);
 }
 
@@ -194,11 +194,11 @@ TEST(DosStitch, SingleBinOverlapUsesOffsetFallback) {
   // so the least-squares offset fallback must carry the stitch.
   const EnergyGrid grid(0.0, 20.0, 20);
   DensityOfStates lo(grid), hi(grid);
-  for (std::int32_t b = 0; b <= 10; ++b) lo.set(b, 1.0 * b);
-  for (std::int32_t b = 10; b <= 19; ++b) hi.set(b, 1.0 * b + 7.0);
+  for (std::int32_t b = 0; b <= 10; ++b) lo.set(b, units::LogDoS(1.0 * b));
+  for (std::int32_t b = 10; b <= 19; ++b) hi.set(b, units::LogDoS(1.0 * b + 7.0));
   const auto joined = DensityOfStates::stitch({lo, hi});
   for (std::int32_t b = 1; b < 20; ++b)
-    EXPECT_NEAR(joined.log_g(b) - joined.log_g(b - 1), 1.0, 1e-9) << b;
+    EXPECT_NEAR(joined.log_g(b).value() - joined.log_g(b - 1).value(), 1.0, 1e-9) << b;
 }
 
 }  // namespace

@@ -93,7 +93,7 @@ void expect_signature_eq(const RunSignature& got, const RunSignature& want) {
 RunSignature signature(const DeepThermoResult& result) {
   RunSignature sig;
   for (std::int32_t b = 0; b < result.grid.n_bins(); ++b)
-    if (result.dos.visited(b)) sig.log_g.emplace_back(b, result.dos.log_g(b));
+    if (result.dos.visited(b)) sig.log_g.emplace_back(b, result.dos.log_g(b).value());
   sig.walker_energies = result.rewl.walker_energies;
   sig.walker_rng_positions = result.rewl.walker_rng_positions;
   sig.vae_loss_trace = result.vae_loss_trace;

@@ -67,7 +67,7 @@ TEST(Framework, FullPipelineProducesNormalizedDos) {
   // Normalisation anchor: LSE over visited bins == ln(total states).
   std::vector<double> vals;
   for (std::int32_t b = 0; b < result.grid.n_bins(); ++b)
-    if (result.dos.visited(b)) vals.push_back(result.dos.log_g(b));
+    if (result.dos.visited(b)) vals.push_back(result.dos.log_g(b).value());
   EXPECT_NEAR(log_sum_exp(vals), fw.log_total_states(), 1e-9);
   // Pretraining happened, VAE kernel actually ran.
   ASSERT_TRUE(result.pretrain_report.has_value());
@@ -112,8 +112,8 @@ TEST(Framework, BaselineMatchesDeepThermoDos) {
   for (std::int32_t b = 0; b < deep.grid.n_bins(); ++b) {
     if (!deep.dos.visited(b) || !base.dos.visited(b)) continue;
     // Skip extreme tail bins (largest relative WL error).
-    if (deep.dos.log_g(b) < 2.0) continue;
-    EXPECT_NEAR(deep.dos.log_g(b), base.dos.log_g(b), 2.0) << "bin " << b;
+    if (deep.dos.log_g(b).value() < 2.0) continue;
+    EXPECT_NEAR(deep.dos.log_g(b).value(), base.dos.log_g(b).value(), 2.0) << "bin " << b;
     ++compared;
   }
   EXPECT_GT(compared, 5);
@@ -151,7 +151,7 @@ TEST(Framework, ProductionPhaseRefinesDos) {
   // The refined DOS stays normalised and spans the same support.
   std::vector<double> vals;
   for (std::int32_t b = 0; b < result.grid.n_bins(); ++b)
-    if (result.dos.visited(b)) vals.push_back(result.dos.log_g(b));
+    if (result.dos.visited(b)) vals.push_back(result.dos.log_g(b).value());
   EXPECT_NEAR(log_sum_exp(vals), fw.log_total_states(), 1e-9);
 }
 

@@ -18,10 +18,10 @@ TEST(Metropolis, EnergyBookkeepingStaysExact) {
   const auto ham = lattice::random_epi(4, 2, 0.2, 5);
   Rng rng(1, 0);
   auto cfg = lattice::random_configuration(lat, 4, rng);
-  MetropolisSampler sampler(ham, cfg, 0.1, Rng(1, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(0.1), Rng(1, 1));
   LocalSwapProposal prop(ham);
   sampler.run(prop, 50);
-  EXPECT_NEAR(sampler.energy(), sampler.recompute_energy(), 1e-7);
+  EXPECT_NEAR(sampler.energy().value(), sampler.recompute_energy().value(), 1e-7);
 }
 
 TEST(Metropolis, SweepAttemptsEqualSiteCount) {
@@ -29,7 +29,7 @@ TEST(Metropolis, SweepAttemptsEqualSiteCount) {
   const auto ham = lattice::epi_ising(1.0);
   Rng rng(2, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 1.0, Rng(2, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(1.0), Rng(2, 1));
   LocalSwapProposal prop(ham);
   sampler.sweep(prop);
   EXPECT_EQ(sampler.stats().attempted,
@@ -41,7 +41,7 @@ TEST(Metropolis, HighTemperatureAcceptsAlmostEverything) {
   const auto ham = lattice::epi_ising(1.0);
   Rng rng(3, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 1e6, Rng(3, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(1e6), Rng(3, 1));
   LocalSwapProposal prop(ham);
   sampler.run(prop, 20);
   EXPECT_GT(sampler.stats().acceptance_rate(), 0.999);
@@ -53,11 +53,11 @@ TEST(Metropolis, LowTemperatureQuenchesTowardsOrder) {
   const lattice::EpiHamiltonian ham(2, {{1.0, -1.0, -1.0, 1.0}});
   Rng rng(4, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 0.05, Rng(4, 1));
-  const double e0 = sampler.energy();
+  MetropolisSampler sampler(ham, cfg, units::Temperature(0.05), Rng(4, 1));
+  const double e0 = sampler.energy().value();
   LocalSwapProposal prop(ham);
   sampler.run(prop, 200);
-  EXPECT_LT(sampler.energy(), e0 - 0.2 * std::fabs(e0));
+  EXPECT_LT(sampler.energy().value(), e0 - 0.2 * std::fabs(e0));
 }
 
 TEST(Metropolis, MeanEnergyMatchesExactEnumeration) {
@@ -69,19 +69,19 @@ TEST(Metropolis, MeanEnergyMatchesExactEnumeration) {
   const double mean_exact =
       validate::ExactOracle::get(
           ham, lat, validate::equiatomic_composition(lat.num_sites(), 2))
-          ->thermo(temperature)
+          ->thermo(units::Temperature(temperature))
           .internal_energy;
 
   Rng rng(5, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, temperature, Rng(5, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(temperature), Rng(5, 1));
   LocalSwapProposal prop(ham);
   sampler.run(prop, 200);  // burn-in
   double acc = 0;
   const int sweeps = 8000;
   for (int s = 0; s < sweeps; ++s) {
     sampler.sweep(prop);
-    acc += sampler.energy();
+    acc += sampler.energy().value();
   }
   EXPECT_NEAR(acc / sweeps, mean_exact, 0.25);
 }
@@ -91,11 +91,11 @@ TEST(Metropolis, TemperatureUpdateValidated) {
   const auto ham = lattice::epi_ising(1.0);
   Rng rng(6, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 1.0, Rng(6, 1));
-  sampler.set_temperature(2.5);
-  EXPECT_DOUBLE_EQ(sampler.temperature(), 2.5);
-  EXPECT_THROW(sampler.set_temperature(0.0), dt::Error);
-  EXPECT_THROW((void)MetropolisSampler(ham, cfg, -1.0, Rng(6, 2)),
+  MetropolisSampler sampler(ham, cfg, units::Temperature(1.0), Rng(6, 1));
+  sampler.set_temperature(units::Temperature(2.5));
+  EXPECT_DOUBLE_EQ(sampler.temperature().value(), 2.5);
+  EXPECT_THROW(sampler.set_temperature(units::Temperature(0.0)), dt::Error);
+  EXPECT_THROW((void)MetropolisSampler(ham, cfg, units::Temperature(-1.0), Rng(6, 2)),
                dt::Error);
 }
 
@@ -104,7 +104,7 @@ TEST(Metropolis, ResetStatsClearsCounters) {
   const auto ham = lattice::epi_ising(1.0);
   Rng rng(7, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 1.0, Rng(7, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(1.0), Rng(7, 1));
   LocalSwapProposal prop(ham);
   sampler.run(prop, 3);
   EXPECT_GT(sampler.stats().attempted, 0u);
@@ -118,7 +118,7 @@ TEST(Metropolis, OnSweepCallbackFires) {
   const auto ham = lattice::epi_ising(1.0);
   Rng rng(8, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, 1.0, Rng(8, 1));
+  MetropolisSampler sampler(ham, cfg, units::Temperature(1.0), Rng(8, 1));
   LocalSwapProposal prop(ham);
   std::int64_t calls = 0, last = -1;
   sampler.run(prop, 5, [&](std::int64_t s) {

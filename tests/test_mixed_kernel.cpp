@@ -36,7 +36,7 @@ TEST(DeepThermoKernel, DispatchStatisticsMatchFraction) {
   auto cfg = lattice::random_configuration(lat, 2, rng);
   const int n = 3000;
   for (int i = 0; i < n; ++i) {
-    (void)kernel.propose(cfg, ham.total_energy(cfg), rng);
+    (void)kernel.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
     kernel.revert(cfg);
   }
   const double vae_fraction =
@@ -54,7 +54,7 @@ TEST(DeepThermoKernel, PureLocalAndPureGlobalLimits) {
 
   DeepThermoProposal all_local(ham, make_vae(lat.num_sites(), 2, 2), 0.0);
   for (int i = 0; i < 100; ++i) {
-    (void)all_local.propose(cfg, 0.0, rng);
+    (void)all_local.propose(cfg, units::Energy(0.0), rng);
     all_local.revert(cfg);
   }
   EXPECT_EQ(all_local.vae_stats().proposed, 0u);
@@ -62,7 +62,7 @@ TEST(DeepThermoKernel, PureLocalAndPureGlobalLimits) {
 
   DeepThermoProposal all_global(ham, make_vae(lat.num_sites(), 2, 3), 1.0);
   for (int i = 0; i < 50; ++i) {
-    (void)all_global.propose(cfg, ham.total_energy(cfg), rng);
+    (void)all_global.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
     all_global.revert(cfg);
   }
   EXPECT_EQ(all_global.vae_stats().proposed, 50u);
@@ -80,7 +80,7 @@ TEST(DeepThermoKernel, RevertAlwaysRestores) {
   const std::vector<std::uint8_t> snapshot(cfg.occupancy().begin(),
                                            cfg.occupancy().end());
   for (int i = 0; i < 200; ++i) {
-    (void)kernel.propose(cfg, ham.total_energy(cfg), rng);
+    (void)kernel.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
     kernel.revert(cfg);
     const std::vector<std::uint8_t> now(cfg.occupancy().begin(),
                                         cfg.occupancy().end());
@@ -108,19 +108,20 @@ TEST(DeepThermoKernel, MixedKernelSamplesBoltzmann) {
   // Exact Boltzmann level marginals from the shared enumeration oracle.
   const auto oracle = validate::ExactOracle::get(
       ham, lat, validate::equiatomic_composition(n, 2));
-  const auto probs = oracle->level_probabilities(temperature);
+  const auto probs = oracle->level_probabilities(units::Temperature(temperature));
 
   DeepThermoProposal kernel(ham, make_vae(n, 2, 7), 0.3);
   mc::Rng rng(8, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(8, 1));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
+                                mc::Rng(8, 1));
 
   std::map<long long, double> counts;
   const int steps = 150000;
   for (int s = 0; s < 2000; ++s) sampler.step(kernel);
   for (int s = 0; s < steps; ++s) {
     sampler.step(kernel);
-    counts[std::llround(4 * sampler.energy())] += 1.0;
+    counts[std::llround(4 * sampler.energy().value())] += 1.0;
   }
   const auto& levels = oracle->levels();
   for (std::size_t i = 0; i < levels.size(); ++i) {

@@ -53,11 +53,12 @@ TEST(Multicanonical, RefinedDosMatchesExact) {
   // Align offsets at the most-populated level (E=4) and compare shapes.
   const auto anchor = s.grid.bin(4.0);
   const double offset =
-      refined.log_g(anchor) - s.exact_dos.log_g(anchor);
+      (refined.log_g(anchor) - s.exact_dos.log_g(anchor)).value();
   for (std::int32_t b = 0; b < s.grid.n_bins(); ++b) {
     if (!s.exact_dos.visited(b)) continue;
     ASSERT_TRUE(refined.visited(b)) << "bin " << b;
-    EXPECT_NEAR(refined.log_g(b), s.exact_dos.log_g(b) + offset, 0.25)
+    EXPECT_NEAR(refined.log_g(b).value(),
+                s.exact_dos.log_g(b).value() + offset, 0.25)
         << "bin " << b;
   }
 }
@@ -69,7 +70,7 @@ TEST(Multicanonical, CorrectsPerturbedReference) {
   DensityOfStates tilted(s.grid);
   for (std::int32_t b = 0; b < s.grid.n_bins(); ++b)
     if (s.exact_dos.visited(b))
-      tilted.set(b, s.exact_dos.log_g(b) + 0.02 * b);  // up to +2.6 tilt
+      tilted.set(b, s.exact_dos.log_g(b) + units::LogWeight(0.02 * b));  // up to +2.6 tilt
 
   mc::Rng rng(3, 0);
   auto cfg = lattice::random_configuration(s.lat, 2, rng);
@@ -79,10 +80,11 @@ TEST(Multicanonical, CorrectsPerturbedReference) {
 
   auto refined = muca.refined_dos();
   const auto anchor = s.grid.bin(4.0);
-  const double offset = refined.log_g(anchor) - s.exact_dos.log_g(anchor);
+  const double offset = (refined.log_g(anchor) - s.exact_dos.log_g(anchor)).value();
   for (std::int32_t b = 0; b < s.grid.n_bins(); ++b) {
     if (!s.exact_dos.visited(b)) continue;
-    EXPECT_NEAR(refined.log_g(b), s.exact_dos.log_g(b) + offset, 0.3)
+    EXPECT_NEAR(refined.log_g(b).value(),
+                s.exact_dos.log_g(b).value() + offset, 0.3)
         << "bin " << b;
   }
 }
@@ -90,7 +92,7 @@ TEST(Multicanonical, CorrectsPerturbedReference) {
 TEST(Multicanonical, RejectsStartOutsideSupport) {
   const auto& s = sys();
   DensityOfStates narrow(s.grid);
-  narrow.set(s.grid.bin(64.0), 0.0);  // support = extreme level only
+  narrow.set(s.grid.bin(64.0), units::LogDoS(0.0));  // support = extreme level only
   mc::Rng rng(4, 0);
   auto cfg = lattice::random_configuration(s.lat, 2, rng);  // E ~ 0-16
   EXPECT_THROW(
@@ -136,7 +138,7 @@ TEST(Multicanonical, SweepHookFires) {
   int calls = 0;
   muca.run(kernel, 25, [&](const MulticanonicalSampler& m) {
     ++calls;
-    EXPECT_GE(m.energy(), -0.5);
+    EXPECT_GE(m.energy().value(), -0.5);
   });
   EXPECT_EQ(calls, 25);
 }

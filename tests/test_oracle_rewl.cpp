@@ -51,7 +51,7 @@ mc::DensityOfStates run_rewl_once(const mc::EnergyGrid& grid,
       [&](int) { return std::make_shared<mc::LocalSwapProposal>(ham); });
   EXPECT_TRUE(result.converged);
   auto dos = result.dos;
-  dos.normalize(log_total);
+  dos.normalize(units::LogWeight(log_total));
   return dos;
 }
 
@@ -78,7 +78,7 @@ TEST(OracleRewl, LnGMatchesExactOracleWithinSigma) {
     const std::int32_t bin = grid.bin(level.energy);
     ASSERT_TRUE(run_a.visited(bin)) << "level E=" << level.energy;
     ASSERT_TRUE(run_b.visited(bin)) << "level E=" << level.energy;
-    const double d = run_a.log_g(bin) - run_b.log_g(bin);
+    const double d = (run_a.log_g(bin) - run_b.log_g(bin)).value();
     d2 += d * d;
     ++n_levels;
   }
@@ -91,7 +91,8 @@ TEST(OracleRewl, LnGMatchesExactOracleWithinSigma) {
   double worst_z = 0.0;
   for (const auto& level : oracle->levels()) {
     const std::int32_t bin = grid.bin(level.energy);
-    const double mean = 0.5 * (run_a.log_g(bin) + run_b.log_g(bin));
+    const double mean =
+        0.5 * (run_a.log_g(bin).value() + run_b.log_g(bin).value());
     worst_z = std::max(
         worst_z, z_score(mean, std::log(level.count), sigma_mean));
   }
@@ -106,9 +107,9 @@ TEST(OracleRewl, LnGMatchesExactOracleWithinSigma) {
   // bias the replica sigma cannot see).
   const auto exact_dos = oracle->to_dos(grid);
   for (const double t : {1.0, 2.0, 4.0, 8.0}) {
-    const auto exact = mc::evaluate_thermo(exact_dos, t);
-    const auto ta = mc::evaluate_thermo(run_a, t);
-    const auto tb = mc::evaluate_thermo(run_b, t);
+    const auto exact = mc::evaluate_thermo(exact_dos, units::Temperature(t));
+    const auto ta = mc::evaluate_thermo(run_a, units::Temperature(t));
+    const auto tb = mc::evaluate_thermo(run_b, units::Temperature(t));
     const double u_mean = 0.5 * (ta.internal_energy + tb.internal_energy);
     const double u_sigma = std::max(
         std::abs(ta.internal_energy - tb.internal_energy) / 2.0, 0.02);
@@ -140,7 +141,8 @@ TEST(OracleRewl, MetropolisVisitedEnergiesMatchBoltzmann) {
 
   mc::Rng rng(seed, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(seed, 1));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
+                                mc::Rng(seed, 1));
   mc::LocalSwapProposal prop(ham);
   sampler.run(prop, 2000);  // burn-in
 
@@ -150,7 +152,7 @@ TEST(OracleRewl, MetropolisVisitedEnergiesMatchBoltzmann) {
   level_series.reserve(static_cast<std::size_t>(n_sweeps));
   sampler.run(prop, n_sweeps, [&](std::int64_t) {
     const auto it =
-        level_of.find(std::llround(sampler.energy() * (1 << 20)));
+        level_of.find(std::llround(sampler.energy().value() * (1 << 20)));
     ASSERT_NE(it, level_of.end()) << "energy " << sampler.energy()
                                   << " is not an exact level";
     ++counts[it->second];
@@ -158,7 +160,7 @@ TEST(OracleRewl, MetropolisVisitedEnergiesMatchBoltzmann) {
   });
 
   const double tau = integrated_autocorrelation_time(level_series);
-  const auto probs = oracle->level_probabilities(temperature);
+  const auto probs = oracle->level_probabilities(units::Temperature(temperature));
   const auto chi2 = chi_square_expected(counts, probs, tau);
   EXPECT_TRUE(chi2.accept()) << "chi2 p=" << chi2.p_value
                              << " X2=" << chi2.statistic
@@ -179,7 +181,8 @@ TEST(OracleRewl, SroMatchesExactCanonicalAverage) {
 
   mc::Rng rng(seed, 2);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(seed, 3));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
+                                mc::Rng(seed, 3));
   mc::LocalSwapProposal prop(ham);
   sampler.run(prop, 2000);  // burn-in
 
@@ -190,7 +193,7 @@ TEST(OracleRewl, SroMatchesExactCanonicalAverage) {
   });
 
   const auto bar = blocked_error(series);
-  const double exact = oracle->mean_sro(temperature);
+  const double exact = oracle->mean_sro(units::Temperature(temperature));
   EXPECT_TRUE(bar.within(exact, 6.0))
       << "sampled " << bar.mean << " +- " << bar.sigma << " (tau="
       << bar.tau << "), exact " << exact << ", z=" << bar.z_against(exact);

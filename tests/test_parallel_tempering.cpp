@@ -56,7 +56,7 @@ TEST(ParallelTempering, EnergyBookkeepingSurvivesExchanges) {
   ParallelTempering pt(ham, lat, 2, small_ladder());
   pt.run(200);
   for (int i = 0; i < pt.n_replicas(); ++i) {
-    EXPECT_NEAR(pt.replica(i).energy(), pt.replica(i).recompute_energy(),
+    EXPECT_NEAR(pt.replica(i).energy().value(), pt.replica(i).recompute_energy().value(),
                 1e-7)
         << "replica " << i;
   }
@@ -92,7 +92,7 @@ TEST(ParallelTempering, ColdReplicaOrdersHotReplicaDisorders) {
   EXPECT_LT(pt.replica(0).energy(), pt.replica(4).energy());
   // Cold replica near the ground state (E_min = -bonds).
   const double e_min = -static_cast<double>(ham.bond_count(lat));
-  EXPECT_LT(pt.replica(0).energy(), 0.6 * e_min);
+  EXPECT_LT(pt.replica(0).energy().value(), 0.6 * e_min);
 }
 
 // The decisive check: PT sampling of the enumerable Ising system matches
@@ -117,12 +117,13 @@ TEST(ParallelTempering, MatchesExactBoltzmannAtAllTemperatures) {
   std::vector<double> totals(3, 0.0);
   pt.run(20000, [&](int replica, MetropolisSampler& sampler) {
     counts[static_cast<std::size_t>(replica)]
-          [std::llround(4 * sampler.energy())] += 1.0;
+          [std::llround(4 * sampler.energy().value())] += 1.0;
     totals[static_cast<std::size_t>(replica)] += 1.0;
   });
 
   for (std::size_t k = 0; k < 3; ++k) {
-    const auto probs = oracle->level_probabilities(opts.temperatures[k]);
+    const auto probs = oracle->level_probabilities(
+        units::Temperature(opts.temperatures[k]));
     for (std::size_t i = 0; i < levels.size(); ++i) {
       const long long key = std::llround(4 * levels[i].energy);
       const double got =
@@ -141,7 +142,7 @@ TEST(ParallelTempering, DeterministicForSeed) {
     pt.run(100);
     std::vector<double> energies;
     for (int i = 0; i < pt.n_replicas(); ++i)
-      energies.push_back(pt.replica(i).energy());
+      energies.push_back(pt.replica(i).energy().value());
     return energies;
   };
   EXPECT_EQ(run(), run());

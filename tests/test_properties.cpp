@@ -28,7 +28,8 @@ TEST_P(SeedSweep, EnergyLedgerNeverDrifts) {
   const auto ham = lattice::random_epi(4, 2, 0.15, seed);
   mc::Rng rng(seed, 1);
   auto cfg = lattice::random_configuration(lat, 4, rng);
-  mc::MetropolisSampler sampler(ham, cfg, 0.2, mc::Rng(seed, 2));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(0.2),
+                                mc::Rng(seed, 2));
 
   mc::LocalSwapProposal local(ham);
   mc::BlockSwapProposal block(ham, 2, 5);
@@ -45,7 +46,7 @@ TEST_P(SeedSweep, EnergyLedgerNeverDrifts) {
   for (int i = 0; i < 600; ++i) {
     sampler.step(*kernels[uniform_index(pick, 3)]);
   }
-  EXPECT_NEAR(sampler.energy(), sampler.recompute_energy(), 1e-7);
+  EXPECT_NEAR(sampler.energy().value(), sampler.recompute_energy().value(), 1e-7);
 }
 
 // Invariant: composition is conserved by every kernel under any mix of
@@ -60,7 +61,8 @@ TEST_P(SeedSweep, CompositionConservedUnderAllKernels) {
   const std::vector<std::int32_t> composition(cfg.composition().begin(),
                                               cfg.composition().end());
 
-  mc::MetropolisSampler sampler(ham, cfg, 0.5, mc::Rng(seed, 5));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(0.5),
+                                mc::Rng(seed, 5));
   mc::LocalSwapProposal local(ham);
   mc::BlockSwapProposal block(ham, 2, 7);
   nn::VaeOptions vo;
@@ -99,7 +101,7 @@ TEST_P(SeedSweep, WangLandauSeedRobustness) {
     mc::LocalSwapProposal kernel(ham);
     wl.run(kernel, 60000);
     auto dos = wl.dos();
-    dos.normalize(std::log(12870.0));
+    dos.normalize(units::LogWeight(std::log(12870.0)));
     return dos;
   };
   const auto a = run(seed);
@@ -107,8 +109,8 @@ TEST_P(SeedSweep, WangLandauSeedRobustness) {
   for (std::int32_t bin = 0; bin < grid.n_bins(); ++bin) {
     if (!a.visited(bin) || !b.visited(bin)) continue;
     // Skip the rarest levels where single-visit noise dominates.
-    if (a.log_g(bin) < 1.5) continue;
-    EXPECT_NEAR(a.log_g(bin), b.log_g(bin), 0.8) << "bin " << bin;
+    if (a.log_g(bin).value() < 1.5) continue;
+    EXPECT_NEAR(a.log_g(bin).value(), b.log_g(bin).value(), 0.8) << "bin " << bin;
   }
 }
 
@@ -122,7 +124,7 @@ TEST_P(SeedSweep, ThermodynamicIdentities) {
   // A random-but-plausible DOS: smooth dome plus noise.
   for (std::int32_t b = 0; b < grid.n_bins(); ++b) {
     const double x = (b - 32.0) / 12.0;
-    dos.set(b, 50.0 - 8.0 * x * x + 0.3 * normal01(rng));
+    dos.set(b, units::LogDoS(50.0 - 8.0 * x * x + 0.3 * normal01(rng)));
   }
   const auto scan = mc::thermo_scan(dos, linspace(0.05, 10.0, 40));
   for (std::size_t i = 0; i < scan.size(); ++i) {
@@ -154,7 +156,7 @@ TEST_P(SeedSweep, SequentialDensityNormalises) {
   double total = 0;
   do {
     total += std::exp(
-        core::VaeProposal::sequential_log_density(probs, occ, s));
+        core::VaeProposal::sequential_log_density(probs, occ, s).value());
   } while (std::next_permutation(occ.begin(), occ.end()));
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
@@ -168,7 +170,7 @@ TEST_P(SeedSweep, DosSerializationRoundTrip) {
   mc::DensityOfStates dos(grid);
   for (std::int32_t b = 0; b < grid.n_bins(); ++b)
     if (uniform01(rng) < 0.6)
-      dos.set(b, 1000.0 * (2.0 * uniform01(rng) - 1.0));
+      dos.set(b, units::LogDoS(1000.0 * (2.0 * uniform01(rng) - 1.0)));
   std::stringstream ss;
   dos.save(ss);
   const auto back = mc::DensityOfStates::load(ss);
@@ -177,8 +179,8 @@ TEST_P(SeedSweep, DosSerializationRoundTrip) {
     ASSERT_EQ(back.visited(b), dos.visited(b));
     if (dos.visited(b)) {
       // Text round trip: values agree to printed precision.
-      EXPECT_NEAR(back.log_g(b), dos.log_g(b),
-                  1e-4 * std::abs(dos.log_g(b)) + 1e-9);
+      EXPECT_NEAR(back.log_g(b).value(), dos.log_g(b).value(),
+                  1e-4 * std::abs(dos.log_g(b).value()) + 1e-9);
     }
   }
 }

@@ -30,10 +30,10 @@ TEST(LocalSwap, PreservesComposition) {
 
   LocalSwapProposal prop(ham);
   for (int i = 0; i < 500; ++i) {
-    const auto r = prop.propose(cfg, 0.0, rng);
+    const auto r = prop.propose(cfg, units::Energy(0.0), rng);
     ASSERT_TRUE(r.valid);
     EXPECT_EQ(composition_of(cfg), before);
-    EXPECT_DOUBLE_EQ(r.log_q_ratio, 0.0);  // symmetric kernel
+    EXPECT_DOUBLE_EQ(r.log_q_ratio.value(), 0.0);  // symmetric kernel
   }
 }
 
@@ -49,7 +49,7 @@ TEST(LocalSwap, RevertRestoresExactState) {
 
   LocalSwapProposal prop(ham);
   for (int i = 0; i < 100; ++i) {
-    (void)prop.propose(cfg, 0.0, rng);
+    (void)prop.propose(cfg, units::Energy(0.0), rng);
     prop.revert(cfg);
     const std::vector<std::uint8_t> now(cfg.occupancy().begin(),
                                         cfg.occupancy().end());
@@ -66,9 +66,9 @@ TEST(LocalSwap, DeltaEnergyIsExact) {
 
   LocalSwapProposal prop(ham);
   for (int i = 0; i < 300; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
     ASSERT_TRUE(r.valid);
-    energy += r.delta_energy;
+    energy += r.delta_energy.value();
     ASSERT_NEAR(energy, ham.total_energy(cfg), 1e-8);
   }
 }
@@ -79,7 +79,7 @@ TEST(LocalSwap, SingleSpeciesGivesInvalid) {
   Configuration cfg(lat, 2);  // all species 0
   Rng rng(4, 0);
   LocalSwapProposal prop(ham);
-  const auto r = prop.propose(cfg, 0.0, rng);
+  const auto r = prop.propose(cfg, units::Energy(0.0), rng);
   EXPECT_FALSE(r.valid);
 }
 
@@ -92,7 +92,7 @@ TEST(LocalSwap, ProposedSitesAlwaysDiffer) {
   for (int i = 0; i < 200; ++i) {
     const auto snapshot = std::vector<std::uint8_t>(cfg.occupancy().begin(),
                                                     cfg.occupancy().end());
-    const auto r = prop.propose(cfg, 0.0, rng);
+    const auto r = prop.propose(cfg, units::Energy(0.0), rng);
     ASSERT_TRUE(r.valid);
     const auto now = std::vector<std::uint8_t>(cfg.occupancy().begin(),
                                                cfg.occupancy().end());
@@ -116,7 +116,7 @@ TEST(BlockSwap, PreservesCompositionAndReverts) {
 
   BlockSwapProposal prop(ham, /*block_cells=*/2, /*n_swaps=*/6);
   for (int i = 0; i < 100; ++i) {
-    const auto r = prop.propose(cfg, 0.0, rng);
+    const auto r = prop.propose(cfg, units::Energy(0.0), rng);
     ASSERT_TRUE(r.valid);
     EXPECT_EQ(composition_of(cfg), before);
     prop.revert(cfg);
@@ -134,8 +134,8 @@ TEST(BlockSwap, DeltaEnergyIsExact) {
   double energy = ham.total_energy(cfg);
   BlockSwapProposal prop(ham, 2, 8);
   for (int i = 0; i < 100; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
-    energy += r.delta_energy;
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
+    energy += r.delta_energy.value();
     ASSERT_NEAR(energy, ham.total_energy(cfg), 1e-8);
   }
 }
@@ -152,7 +152,7 @@ TEST(Mixture, DispatchFractionRespected) {
   int global_count = 0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    (void)mix.propose(cfg, 0.0, rng);
+    (void)mix.propose(cfg, units::Energy(0.0), rng);
     if (mix.last_was_global()) ++global_count;
     mix.revert(cfg);
   }
@@ -170,7 +170,7 @@ TEST(Mixture, RevertRoutesToCorrectComponent) {
   BlockSwapProposal global(ham, 2, 5);
   MixtureProposal mix(local, global, 0.5);
   for (int i = 0; i < 300; ++i) {
-    (void)mix.propose(cfg, 0.0, rng);
+    (void)mix.propose(cfg, units::Energy(0.0), rng);
     mix.revert(cfg);
     const std::vector<std::uint8_t> now(cfg.occupancy().begin(),
                                         cfg.occupancy().end());
@@ -191,11 +191,11 @@ TEST_P(KernelBoltzmann, EmpiricalEnergyDistributionMatchesExact) {
   // Exact Boltzmann level marginals from the shared enumeration oracle.
   const auto oracle = validate::ExactOracle::get(
       ham, lat, validate::equiatomic_composition(lat.num_sites(), 2));
-  const auto probs = oracle->level_probabilities(temperature);
+  const auto probs = oracle->level_probabilities(units::Temperature(temperature));
 
   Rng rng(100 + static_cast<std::uint64_t>(GetParam()), 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  MetropolisSampler sampler(ham, cfg, temperature,
+  MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
                             Rng(200 + static_cast<std::uint64_t>(GetParam()), 1));
 
   LocalSwapProposal local(ham);
@@ -208,7 +208,7 @@ TEST_P(KernelBoltzmann, EmpiricalEnergyDistributionMatchesExact) {
   const int steps = 200000;
   for (int s = 0; s < steps; ++s) {
     sampler.step(kernel);
-    counts[std::llround(4 * sampler.energy())] += 1.0;
+    counts[std::llround(4 * sampler.energy().value())] += 1.0;
   }
 
   const auto& levels = oracle->levels();

@@ -41,9 +41,9 @@ TEST(Wham, SingleHistogramRecoversBoltzmannInversion) {
   const auto result = wham(grid, {h}, {t});
   EXPECT_TRUE(result.converged);
   // ln g recovered up to a constant.
-  const double offset = result.dos.log_g(0) - std::log(g[0]);
+  const double offset = result.dos.log_g(0).value() - std::log(g[0]);
   for (std::int32_t b = 0; b < 5; ++b)
-    EXPECT_NEAR(result.dos.log_g(b), std::log(g[static_cast<std::size_t>(b)]) + offset,
+    EXPECT_NEAR(result.dos.log_g(b).value(), std::log(g[static_cast<std::size_t>(b)]) + offset,
                 1e-3)
         << "bin " << b;
 }
@@ -78,14 +78,14 @@ TEST(Wham, CombinesTwoSyntheticHistogramsConsistently) {
   int n_off = 0;
   for (std::int32_t b = 0; b < 10; ++b) {
     if (!result.dos.visited(b)) continue;
-    offset += result.dos.log_g(b) - log_g_true[static_cast<std::size_t>(b)];
+    offset += result.dos.log_g(b).value() - log_g_true[static_cast<std::size_t>(b)];
     ++n_off;
   }
   ASSERT_GT(n_off, 5);
   offset /= n_off;
   for (std::int32_t b = 0; b < 10; ++b) {
     if (!result.dos.visited(b)) continue;
-    EXPECT_NEAR(result.dos.log_g(b),
+    EXPECT_NEAR(result.dos.log_g(b).value(),
                 log_g_true[static_cast<std::size_t>(b)] + offset, 0.15)
         << "bin " << b;
   }
@@ -118,7 +118,7 @@ TEST(Wham, PtPlusWhamMatchesExactDos) {
 
   auto result = wham(grid, hs, opts.temperatures);
   ASSERT_TRUE(result.converged);
-  result.dos.normalize(oracle->log_total_states());
+  result.dos.normalize(units::LogWeight(oracle->log_total_states()));
 
   for (const auto& level : oracle->levels()) {
     const auto bin = grid.bin(level.energy);
@@ -126,7 +126,7 @@ TEST(Wham, PtPlusWhamMatchesExactDos) {
     // Rare levels (the 2-state extreme) are visited only a handful of
     // times even by the hottest replica; Poisson noise dominates there.
     const double tol = level.count < 10 ? 1.5 : 0.35;
-    EXPECT_NEAR(result.dos.log_g(bin), std::log(level.count), tol)
+    EXPECT_NEAR(result.dos.log_g(bin).value(), std::log(level.count), tol)
         << "level " << level.energy;
   }
 

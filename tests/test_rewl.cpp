@@ -59,11 +59,11 @@ TEST(Rewl, RecoversExactDos) {
   ASSERT_TRUE(result.converged);
 
   auto dos = result.dos;
-  dos.normalize(ex.log_total);
+  dos.normalize(units::LogWeight(ex.log_total));
   for (const auto& level : ex.levels) {
     const std::int32_t bin = grid.bin(level.energy);
     ASSERT_TRUE(dos.visited(bin)) << "level " << level.energy;
-    EXPECT_NEAR(dos.log_g(bin), std::log(level.count), 0.3)
+    EXPECT_NEAR(dos.log_g(bin).value(), std::log(level.count), 0.3)
         << "level " << level.energy;
   }
 }
@@ -79,9 +79,9 @@ TEST(Rewl, MultipleWalkersPerWindow) {
   ASSERT_TRUE(result.converged);
 
   auto dos = result.dos;
-  dos.normalize(ex.log_total);
+  dos.normalize(units::LogWeight(ex.log_total));
   for (const auto& level : ex.levels) {
-    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)).value(), std::log(level.count),
                 0.4);
   }
 }
@@ -97,9 +97,9 @@ TEST(Rewl, ThreeWindowsConverge) {
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.windows.size(), 3u);
   auto dos = result.dos;
-  dos.normalize(ex.log_total);
+  dos.normalize(units::LogWeight(ex.log_total));
   for (const auto& level : ex.levels) {
-    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)).value(), std::log(level.count),
                 0.5);
   }
 }
@@ -152,7 +152,7 @@ TEST(Rewl, DeterministicForFixedSeed) {
                             local_factory(ex.ham));
     std::vector<double> vals;
     for (std::int32_t b = 0; b < grid.n_bins(); ++b)
-      if (r.dos.visited(b)) vals.push_back(r.dos.log_g(b));
+      if (r.dos.visited(b)) vals.push_back(r.dos.log_g(b).value());
     return vals;
   };
   EXPECT_EQ(run(), run());
@@ -168,9 +168,9 @@ TEST(Rewl, MatchesSingleWindowWangLandau) {
       run_rewl(ex.ham, ex.lat, 2, grid, opts, local_factory(ex.ham));
   ASSERT_TRUE(result.converged);
   auto dos = result.dos;
-  dos.normalize(ex.log_total);
+  dos.normalize(units::LogWeight(ex.log_total));
   for (const auto& level : ex.levels)
-    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)), std::log(level.count),
+    EXPECT_NEAR(dos.log_g(grid.bin(level.energy)).value(), std::log(level.count),
                 0.3);
 }
 

@@ -15,8 +15,8 @@ namespace {
 DensityOfStates two_level(double g0, double g1, double e1,
                           const EnergyGrid& grid) {
   DensityOfStates dos(grid);
-  dos.set(grid.bin(0.0), std::log(g0));
-  dos.set(grid.bin(e1), std::log(g1));
+  dos.set(grid.bin(0.0), units::LogDoS(std::log(g0)));
+  dos.set(grid.bin(e1), units::LogDoS(std::log(g1)));
   return dos;
 }
 
@@ -30,7 +30,7 @@ TEST(Thermo, TwoLevelSystemExact) {
     const double beta = 1.0 / t;
     const double z = g0 + g1 * std::exp(-beta * e1);
     const double p1 = g1 * std::exp(-beta * e1) / z;
-    const ThermoPoint pt = evaluate_thermo(dos, t);
+    const ThermoPoint pt = evaluate_thermo(dos, units::Temperature(t));
     EXPECT_NEAR(pt.log_z, std::log(z), 1e-10) << "T=" << t;
     EXPECT_NEAR(pt.internal_energy, p1 * e1, 1e-10);
     EXPECT_NEAR(pt.specific_heat, beta * beta * (p1 - p1 * p1) * e1 * e1,
@@ -44,14 +44,14 @@ TEST(Thermo, TwoLevelSystemExact) {
 TEST(Thermo, HighTemperatureEntropyLimit) {
   const EnergyGrid grid(-0.5, 1.5, 2);
   const auto dos = two_level(3.0, 5.0, 1.0, grid);
-  const ThermoPoint pt = evaluate_thermo(dos, 1e6);
+  const ThermoPoint pt = evaluate_thermo(dos, units::Temperature(1e6));
   EXPECT_NEAR(pt.entropy, std::log(8.0), 1e-4);  // ln(total states)
 }
 
 TEST(Thermo, LowTemperatureGroundStateLimit) {
   const EnergyGrid grid(-0.5, 1.5, 2);
   const auto dos = two_level(3.0, 5.0, 1.0, grid);
-  const ThermoPoint pt = evaluate_thermo(dos, 0.01);
+  const ThermoPoint pt = evaluate_thermo(dos, units::Temperature(0.01));
   EXPECT_NEAR(pt.internal_energy, 0.0, 1e-10);
   EXPECT_NEAR(pt.entropy, std::log(3.0), 1e-10);  // ground degeneracy
   EXPECT_NEAR(pt.specific_heat, 0.0, 1e-10);
@@ -61,9 +61,9 @@ TEST(Thermo, WorksAtE10000Scale) {
   // ln g values at the paper's scale must not overflow.
   const EnergyGrid grid(-0.5, 1.5, 2);
   DensityOfStates dos(grid);
-  dos.set(0, 5000.0);
-  dos.set(1, 10000.0);
-  const ThermoPoint pt = evaluate_thermo(dos, 1.0);
+  dos.set(0, units::LogDoS(5000.0));
+  dos.set(1, units::LogDoS(10000.0));
+  const ThermoPoint pt = evaluate_thermo(dos, units::Temperature(1.0));
   EXPECT_TRUE(std::isfinite(pt.log_z));
   EXPECT_TRUE(std::isfinite(pt.internal_energy));
   EXPECT_TRUE(std::isfinite(pt.specific_heat));
@@ -75,7 +75,7 @@ TEST(Thermo, SpecificHeatNonNegativeAcrossScan) {
   DensityOfStates dos(grid);
   for (std::int32_t b = 0; b < 50; ++b) {
     const double x = (b - 25.0) / 10.0;
-    dos.set(b, 30.0 - x * x * 5.0);
+    dos.set(b, units::LogDoS(30.0 - x * x * 5.0));
   }
   const auto scan = thermo_scan(dos, linspace(0.05, 5.0, 60));
   for (const auto& pt : scan) {
@@ -89,7 +89,7 @@ TEST(Thermo, EntropyMonotoneInTemperature) {
   const EnergyGrid grid(0.0, 10.0, 50);
   DensityOfStates dos(grid);
   for (std::int32_t b = 0; b < 50; ++b)
-    dos.set(b, 20.0 - 0.02 * (b - 25.0) * (b - 25.0));
+    dos.set(b, units::LogDoS(20.0 - 0.02 * (b - 25.0) * (b - 25.0)));
   const auto scan = thermo_scan(dos, linspace(0.1, 5.0, 30));
   for (std::size_t i = 1; i < scan.size(); ++i)
     EXPECT_GE(scan[i].entropy + 1e-10, scan[i - 1].entropy);
@@ -117,13 +117,13 @@ TEST(Thermo, TransitionTemperatureFindsCvPeak) {
 TEST(Thermo, RejectsNonPositiveTemperature) {
   const EnergyGrid grid(-0.5, 1.5, 2);
   const auto dos = two_level(1.0, 1.0, 1.0, grid);
-  EXPECT_THROW((void)evaluate_thermo(dos, 0.0), dt::Error);
-  EXPECT_THROW((void)evaluate_thermo(dos, -1.0), dt::Error);
+  EXPECT_THROW((void)evaluate_thermo(dos, units::Temperature(0.0)), dt::Error);
+  EXPECT_THROW((void)evaluate_thermo(dos, units::Temperature(-1.0)), dt::Error);
 }
 
 TEST(Thermo, EmptyDosThrows) {
   DensityOfStates dos{EnergyGrid(0.0, 1.0, 4)};
-  EXPECT_THROW((void)evaluate_thermo(dos, 1.0), dt::Error);
+  EXPECT_THROW((void)evaluate_thermo(dos, units::Temperature(1.0)), dt::Error);
 }
 
 TEST(Thermo, SingleBinDosIsDeltaDistribution) {
@@ -135,9 +135,9 @@ TEST(Thermo, SingleBinDosIsDeltaDistribution) {
   DensityOfStates dos(grid);
   const std::int32_t b = 7;
   const double log_g = 42.0;
-  dos.set(b, log_g);
+  dos.set(b, units::LogDoS(log_g));
   for (double t : {0.01, 1.0, 1e6}) {
-    const ThermoPoint pt = evaluate_thermo(dos, t);
+    const ThermoPoint pt = evaluate_thermo(dos, units::Temperature(t));
     EXPECT_DOUBLE_EQ(pt.internal_energy, grid.energy(b)) << "T=" << t;
     EXPECT_NEAR(pt.specific_heat, 0.0, 1e-9) << "T=" << t;
     EXPECT_NEAR(pt.entropy, log_g, 1e-9) << "T=" << t;

@@ -1,0 +1,200 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/serialize.hpp"
+
+namespace dt {
+namespace {
+
+namespace u = dt::units;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---- operator algebra ----------------------------------------------------
+
+TEST(Units, EnergyAxisAlgebra) {
+  constexpr u::Energy a(3.5);
+  constexpr u::Energy b(1.25);
+  constexpr u::DeltaEnergy d = a - b;
+  static_assert(d.value() == 2.25);
+  static_assert((b + d).value() == 3.5);
+  static_assert((a - d).value() == 1.25);
+  static_assert((-d).value() == -2.25);
+  static_assert((d + d).value() == 4.5);
+  static_assert((d - d).value() == 0.0);
+
+  u::Energy e(10.0);
+  e += u::DeltaEnergy(-2.5);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Units, LogDomainAlgebra) {
+  constexpr u::Beta beta(0.5);
+  static_assert((beta * u::Energy(4.0)).value() == 2.0);
+  static_assert((beta * u::DeltaEnergy(-4.0)).value() == -2.0);
+
+  constexpr u::LogWeight w1(1.0);
+  constexpr u::LogWeight w2(2.5);
+  static_assert((w1 + w2).value() == 3.5);
+  static_assert((w1 - w2).value() == -1.5);
+  static_assert((-w2).value() == -2.5);
+
+  // ln g ratios: the Wang-Landau acceptance exponent.
+  constexpr u::LogDoS g_cur(12.0);
+  constexpr u::LogDoS g_new(9.5);
+  static_assert((g_cur - g_new).value() == 2.5);
+  static_assert((g_new + u::LogWeight(0.5)).value() == 10.0);
+  static_assert((g_cur - u::LogWeight(2.0)).value() == 10.0);
+
+  static_assert((u::Prob(0.5) * u::Prob(0.25)).value() == 0.125);
+}
+
+TEST(Units, OrderingIsPerType) {
+  EXPECT_LT(u::Energy(1.0), u::Energy(2.0));
+  EXPECT_GT(u::LogWeight(0.0), u::LogWeight(-1.0));
+  EXPECT_EQ(u::Beta(0.25), u::Beta(0.25));
+  EXPECT_NE(u::Temperature(4.0), u::Temperature(5.0));
+}
+
+// ---- domain doors and converters -----------------------------------------
+
+TEST(Units, ExpLogRoundTrip) {
+  for (double x : {-700.0, -30.0, -1.0, 0.0, 0.5}) {
+    const u::Prob p = u::exp(u::LogWeight(x));
+    EXPECT_NEAR(u::log(p).value(), x, 1e-12 * std::max(1.0, std::abs(x)));
+  }
+  // Domain edges: exp(-inf) = 0 and back.
+  EXPECT_DOUBLE_EQ(u::exp(u::LogWeight(-kInf)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(u::log(u::Prob(0.0)).value(), -kInf);
+  EXPECT_DOUBLE_EQ(u::exp(u::LogWeight(kInf)).value(), kInf);
+}
+
+TEST(Units, BetaTemperatureConverters) {
+  constexpr u::Beta beta = u::to_beta(u::Temperature(4.0));
+  static_assert(beta.value() == 0.25);
+  static_assert(u::to_temperature(beta).value() == 4.0);
+  // Round trip at extreme temperatures used in annealing schedules.
+  for (double t : {1e-6, 1.0, 1e6}) {
+    EXPECT_DOUBLE_EQ(u::to_temperature(u::to_beta(u::Temperature(t))).value(),
+                     t);
+  }
+}
+
+TEST(Units, MetropolisAccept) {
+  // ln A >= 0 accepts regardless of the draw, including u = 1-eps.
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(0.0), u::Prob(0.999999)));
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(5.0), u::Prob(0.999999)));
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(kInf), u::Prob(0.5)));
+  // ln A < 0 accepts iff u < exp(ln A).
+  const u::LogWeight lw(std::log(0.5));
+  EXPECT_TRUE(u::metropolis_accept(lw, u::Prob(0.25)));
+  EXPECT_FALSE(u::metropolis_accept(lw, u::Prob(0.75)));
+  EXPECT_FALSE(u::metropolis_accept(u::LogWeight(-kInf), u::Prob(0.0)));
+}
+
+TEST(Units, MetropolisAcceptLazyDrawPreservesRngStream) {
+  // The callable form must not touch the RNG on downhill moves: the
+  // samplers' deterministic seeded trajectories depend on uniforms being
+  // consumed only when ln A < 0.
+  int draws = 0;
+  auto draw = [&] {
+    ++draws;
+    return u::Prob(0.25);
+  };
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(2.0), draw));
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(kInf), draw));
+  EXPECT_EQ(draws, 0);
+  EXPECT_TRUE(u::metropolis_accept(u::LogWeight(std::log(0.5)), draw));
+  EXPECT_EQ(draws, 1);
+  EXPECT_FALSE(u::metropolis_accept(u::LogWeight(-kInf), draw));
+  EXPECT_EQ(draws, 2);
+}
+
+TEST(Units, ExchangeLogWeight) {
+  // (beta_i - beta_j)(E_i - E_j): swapping a hot high-energy walker with a
+  // cold low-energy walker is favourable (positive exponent).
+  const u::LogWeight w = u::exchange_log_weight(
+      u::Beta(1.0), u::Beta(0.5), u::Energy(-3.0), u::Energy(-1.0));
+  EXPECT_DOUBLE_EQ(w.value(), (1.0 - 0.5) * (-3.0 - -1.0));
+  // Symmetry: swapping the pair labels flips nothing.
+  const u::LogWeight ws = u::exchange_log_weight(
+      u::Beta(0.5), u::Beta(1.0), u::Energy(-1.0), u::Energy(-3.0));
+  EXPECT_DOUBLE_EQ(ws.value(), w.value());
+}
+
+// ---- log_sum_exp and Kahan interop ---------------------------------------
+
+TEST(Units, LogSumExpMatchesRawHelper) {
+  const std::vector<double> raw = {0.5, -2.0, 3.0, 1.0, -750.0};
+  std::vector<u::LogWeight> typed;
+  for (double x : raw) typed.emplace_back(x);
+  EXPECT_NEAR(u::log_sum_exp(typed).value(), log_sum_exp(raw), 1e-12);
+}
+
+TEST(Units, LogSumExpEmptyAndExtremes) {
+  EXPECT_DOUBLE_EQ(u::log_sum_exp({}).value(), -kInf);
+  // The paper's DOS scale: exponents around e^10000 must not overflow.
+  const std::vector<u::LogWeight> huge = {
+      u::LogWeight(10000.0), u::LogWeight(9000.0), u::LogWeight(-5000.0)};
+  EXPECT_NEAR(u::log_sum_exp(huge).value(), 10000.0, 1e-9);
+  const std::vector<u::LogWeight> ninf = {u::LogWeight(-kInf),
+                                          u::LogWeight(-kInf)};
+  EXPECT_DOUBLE_EQ(u::log_sum_exp(ninf).value(), -kInf);
+}
+
+TEST(Units, KahanSumInterop) {
+  // Accumulating unwrapped LogWeight values through KahanSum must keep the
+  // compensated precision the raw-double path has.
+  KahanSum sum;
+  sum.add(u::LogWeight(1.0).value());
+  for (int i = 0; i < 1000000; ++i) sum.add(u::LogWeight(1e-16).value());
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-10, 1e-13);
+}
+
+// ---- serialization boundary ----------------------------------------------
+
+TEST(Units, SerializationIsBitExactWithRawDouble) {
+  // The checkpoint boundary writes .value() doubles; a typed quantity must
+  // produce byte-identical streams so pre-refactor checkpoints stay valid.
+  const double raw = -12345.6789e-3;
+  std::ostringstream typed_os, raw_os;
+  write_pod(typed_os, u::Energy(raw).value());
+  write_pod(raw_os, raw);
+  EXPECT_EQ(typed_os.str(), raw_os.str());
+
+  std::istringstream is(raw_os.str());
+  const u::Energy back(read_pod<double>(is));
+  EXPECT_EQ(std::memcmp(&raw, &back, sizeof(double)), 0);
+}
+
+TEST(Units, LayoutGuarantees) {
+  static_assert(sizeof(u::Energy) == sizeof(double));
+  static_assert(sizeof(u::LogDoS) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<u::LogWeight>);
+  static_assert(std::is_trivially_copyable_v<u::Prob>);
+  // NaN payload survives the wrap/unwrap round trip bit-exactly.
+  const double nan = std::nan("0x5ca1ab1e");
+  const u::LogWeight w(nan);
+  const double out = w.value();
+  EXPECT_EQ(std::memcmp(&nan, &out, sizeof(double)), 0);
+}
+
+TEST(Units, StreamPrintersTagDomain) {
+  std::ostringstream os;
+  os << u::Energy(1.5) << ' ' << u::Beta(0.25) << ' ' << u::LogDoS(3.0);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_NE(s.find('3'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dt

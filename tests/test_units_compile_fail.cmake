@@ -1,0 +1,72 @@
+# Negative compile tests for src/common/units.hpp.
+#
+# The unit system's whole point is that illegal domain mixes FAIL to
+# compile; a normal gtest cannot express that. This script (run via
+# `cmake -P` from ctest, see tests/CMakeLists.txt) feeds each snippet to
+# the configured C++ compiler with -fsyntax-only and asserts the expected
+# verdict: every illegal mix must be rejected, and one positive control
+# using the same harness must be accepted (guarding against the harness
+# itself being broken, e.g. a bad include path failing everything).
+#
+# Required -D variables: CXX (compiler), SOURCE_DIR (repo root),
+# WORK_DIR (scratch directory for generated snippets).
+
+foreach(var CXX SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "test_units_compile_fail: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(prologue "#include \"common/units.hpp\"\nusing namespace dt::units@\n")
+
+# name : must_compile : body. Statements are separated with '@' instead
+# of ';' (CMake's list separator mangles escaped semicolons in nested
+# string/list processing); '@' is swapped back at write time.
+set(cases
+  "positive_control|YES|LogWeight w = Beta(0.5) * Energy(2.0)@ (void)w@"
+  "beta_plus_energy|NO|auto x = Beta(0.5) + Energy(2.0)@ (void)x@"
+  "temperature_as_beta|NO|LogWeight w = Temperature(4.0) * Energy(2.0)@ (void)w@"
+  "prob_plus_logweight|NO|auto x = Prob(0.5) + LogWeight(1.0)@ (void)x@"
+  "implicit_from_double|NO|Energy e = 1.5@ (void)e@"
+  "energy_plus_energy|NO|auto x = Energy(1.0) + Energy(2.0)@ (void)x@"
+  "logdos_plus_logdos|NO|auto x = LogDoS(1.0) + LogDoS(2.0)@ (void)x@"
+  "cross_type_compare|NO|bool b = Energy(1.0) < DeltaEnergy(1.0)@ (void)b@"
+  "exp_of_energy|NO|Prob p = dt::units::exp(Energy(1.0))@ (void)p@"
+)
+
+set(failures 0)
+foreach(case IN LISTS cases)
+  string(REPLACE "|" ";" parts "${case}")
+  list(GET parts 0 name)
+  list(GET parts 1 must_compile)
+  list(GET parts 2 body)
+
+  set(src "${WORK_DIR}/${name}.cpp")
+  set(text "${prologue}void probe() { ${body} }\n")
+  string(REPLACE "@" ";" text "${text}")
+  file(WRITE "${src}" "${text}")
+
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -fsyntax-only
+            "-I${SOURCE_DIR}/src" "${src}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+  if(must_compile STREQUAL "YES" AND NOT rc EQUAL 0)
+    message(WARNING "${name}: expected to COMPILE but failed:\n${err}")
+    math(EXPR failures "${failures} + 1")
+  elseif(must_compile STREQUAL "NO" AND rc EQUAL 0)
+    message(WARNING "${name}: illegal mix COMPILED but must be rejected")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${name}: ok (${must_compile} -> rc=${rc})")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "test_units_compile_fail: ${failures} case(s) failed")
+endif()
+message(STATUS "test_units_compile_fail: all cases behaved as expected")

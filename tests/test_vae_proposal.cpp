@@ -48,7 +48,8 @@ TEST(SequentialDensity, NormalizesOverAllArrangements) {
   std::sort(occ.begin(), occ.end());
   double total = 0;
   do {
-    total += std::exp(VaeProposal::sequential_log_density(probs, occ, 2));
+    total += std::exp(
+        VaeProposal::sequential_log_density(probs, occ, 2).value());
   } while (std::next_permutation(occ.begin(), occ.end()));
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
@@ -61,7 +62,8 @@ TEST(SequentialDensity, ThreeSpeciesNormalizes) {
   std::vector<std::uint8_t> occ = {0, 0, 1, 1, 2, 2};
   double total = 0;
   do {
-    total += std::exp(VaeProposal::sequential_log_density(probs, occ, s));
+    total += std::exp(
+        VaeProposal::sequential_log_density(probs, occ, s).value());
   } while (std::next_permutation(occ.begin(), occ.end()));
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
@@ -70,10 +72,10 @@ TEST(SequentialDensity, UniformProbsGiveUniformArrangements) {
   const std::vector<float> probs(8, 0.5f);
   const std::vector<std::uint8_t> a = {0, 1, 0, 1};
   const std::vector<std::uint8_t> b = {1, 1, 0, 0};
-  EXPECT_NEAR(VaeProposal::sequential_log_density(probs, a, 2),
-              VaeProposal::sequential_log_density(probs, b, 2), 1e-9);
+  EXPECT_NEAR(VaeProposal::sequential_log_density(probs, a, 2).value(),
+              VaeProposal::sequential_log_density(probs, b, 2).value(), 1e-9);
   // 6 arrangements, each probability 1/6.
-  EXPECT_NEAR(VaeProposal::sequential_log_density(probs, a, 2),
+  EXPECT_NEAR(VaeProposal::sequential_log_density(probs, a, 2).value(),
               std::log(1.0 / 6.0), 1e-9);
 }
 
@@ -93,7 +95,7 @@ TEST(VaeProposal, PreservesCompositionAndReverts) {
                                            cfg.occupancy().end());
 
   for (int i = 0; i < 50; ++i) {
-    const auto r = prop.propose(cfg, ham.total_energy(cfg), rng);
+    const auto r = prop.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
     ASSERT_TRUE(r.valid);
     const std::vector<std::int32_t> now(cfg.composition().begin(),
                                         cfg.composition().end());
@@ -116,8 +118,8 @@ TEST(VaeProposal, DeltaEnergyIsExact) {
   auto cfg = lattice::random_configuration(lat, 3, rng);
   double energy = ham.total_energy(cfg);
   for (int i = 0; i < 30; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
-    energy += r.delta_energy;
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
+    energy += r.delta_energy.value();
     ASSERT_NEAR(energy, ham.total_energy(cfg), 1e-8);
   }
 }
@@ -130,8 +132,8 @@ TEST(VaeProposal, LogQRatioIsFinite) {
   mc::Rng rng(9, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
   for (int i = 0; i < 50; ++i) {
-    const auto r = prop.propose(cfg, ham.total_energy(cfg), rng);
-    EXPECT_TRUE(std::isfinite(r.log_q_ratio));
+    const auto r = prop.propose(cfg, units::Energy(ham.total_energy(cfg)), rng);
+    EXPECT_TRUE(std::isfinite(r.log_q_ratio.value()));
     prop.revert(cfg);
   }
 }
@@ -148,22 +150,23 @@ TEST(VaeProposal, SatisfiesDetailedBalanceEmpirically) {
   // Exact Boltzmann level marginals from the shared enumeration oracle.
   const auto oracle = validate::ExactOracle::get(
       ham, lat, validate::equiatomic_composition(n, 2));
-  const auto probs = oracle->level_probabilities(temperature);
+  const auto probs = oracle->level_probabilities(units::Temperature(temperature));
 
   auto vae = make_vae(n, 2, 123);
   VaeProposal prop(ham, vae);
   mc::Rng rng(99, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  mc::MetropolisSampler sampler(ham, cfg, temperature, mc::Rng(99, 1));
+  mc::MetropolisSampler sampler(ham, cfg, units::Temperature(temperature),
+                                mc::Rng(99, 1));
 
   std::map<long long, double> counts;
   const int steps = 150000;
   for (int s = 0; s < 2000; ++s) sampler.step(prop);  // burn-in
   for (int s = 0; s < steps; ++s) {
     sampler.step(prop);
-    counts[std::llround(4 * sampler.energy())] += 1.0;
+    counts[std::llround(4 * sampler.energy().value())] += 1.0;
   }
-  EXPECT_NEAR(sampler.energy(), sampler.recompute_energy(), 1e-7);
+  EXPECT_NEAR(sampler.energy().value(), sampler.recompute_energy().value(), 1e-7);
 
   const auto& levels = oracle->levels();
   for (std::size_t i = 0; i < levels.size(); ++i) {
@@ -182,7 +185,7 @@ TEST(VaeProposal, RejectsMismatchedGeometry) {
   VaeProposal prop(ham, vae);
   mc::Rng rng(11, 0);
   auto cfg = lattice::random_configuration(lat, 2, rng);
-  EXPECT_THROW((void)prop.propose(cfg, 0.0, rng), dt::Error);
+  EXPECT_THROW((void)prop.propose(cfg, units::Energy(0.0), rng), dt::Error);
 }
 
 // ---- decode-ahead fast path: RNG stream discipline ----
@@ -205,13 +208,13 @@ Trajectory run_trajectory(VaeProposal& prop,
   Trajectory t;
   double energy = ham.total_energy(cfg);
   for (int i = 0; i < steps; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
-    energy += r.delta_energy;
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
+    energy += r.delta_energy.value();
     // Accept everything: the fingerprint must cover mutated states.
     t.occupancies.emplace_back(cfg.occupancy().begin(),
                                cfg.occupancy().end());
-    t.delta_energies.push_back(r.delta_energy);
-    t.log_q_ratios.push_back(r.log_q_ratio);
+    t.delta_energies.push_back(r.delta_energy.value());
+    t.log_q_ratios.push_back(r.log_q_ratio.value());
     t.rng_positions.push_back(rng.position());
   }
   return t;
@@ -337,8 +340,8 @@ TEST(VaeProposalFastPath, AuditEveryProposalPasses) {
   auto cfg = lattice::random_configuration(lat, 3, rng);
   double energy = ham.total_energy(cfg);
   for (int i = 0; i < 40; ++i) {
-    const auto r = prop.propose(cfg, energy, rng);
-    energy += r.delta_energy;
+    const auto r = prop.propose(cfg, units::Energy(energy), rng);
+    energy += r.delta_energy.value();
   }
   EXPECT_NEAR(energy, ham.total_energy(cfg), 1e-7);
 }

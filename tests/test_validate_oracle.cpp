@@ -54,11 +54,12 @@ TEST(ExactOracle, MatchesIndependentBitmaskEnumeration) {
   EXPECT_DOUBLE_EQ(oracle.total_states(), 12870.0);  // C(16, 8)
   for (const auto& [k, count] : ref) {
     const double e = static_cast<double>(k) / 4.0;
-    EXPECT_NEAR(oracle.log_g_at(e), std::log(count), 1e-12) << "E=" << e;
+    EXPECT_NEAR(oracle.log_g_at(units::Energy(e)).value(), std::log(count), 1e-12) << "E=" << e;
   }
   EXPECT_DOUBLE_EQ(oracle.e_min(), ref.begin()->first / 4.0);
   EXPECT_DOUBLE_EQ(oracle.e_max(), ref.rbegin()->first / 4.0);
-  EXPECT_TRUE(std::isinf(oracle.log_g_at(oracle.e_min() - 1.0)));
+  EXPECT_TRUE(
+      std::isinf(oracle.log_g_at(units::Energy(oracle.e_min() - 1.0)).value()));
 }
 
 TEST(ExactOracle, MultiSpeciesStateCountIsMultinomial) {
@@ -85,8 +86,8 @@ TEST(ExactOracle, ThermoMatchesGridThermoOnFineGrid) {
   const auto grid = oracle.make_grid(2000, 0.1);
   const auto dos = oracle.to_dos(grid);
   for (const double t : {0.5, 1.0, 2.0, 8.0}) {
-    const auto exact = oracle.thermo(t);
-    const auto binned = mc::evaluate_thermo(dos, t);
+    const auto exact = oracle.thermo(units::Temperature(t));
+    const auto binned = mc::evaluate_thermo(dos, units::Temperature(t));
     EXPECT_NEAR(exact.internal_energy, binned.internal_energy, 5e-2) << t;
     EXPECT_NEAR(exact.specific_heat, binned.specific_heat, 5e-2) << t;
     EXPECT_NEAR(exact.free_energy, binned.free_energy, 5e-2) << t;
@@ -94,7 +95,7 @@ TEST(ExactOracle, ThermoMatchesGridThermoOnFineGrid) {
   const auto scan = oracle.thermo_scan({0.5, 1.0});
   ASSERT_EQ(scan.size(), 2u);
   EXPECT_DOUBLE_EQ(scan[0].internal_energy,
-                   oracle.thermo(0.5).internal_energy);
+                   oracle.thermo(units::Temperature(0.5)).internal_energy);
 }
 
 TEST(ExactOracle, LevelProbabilitiesAreBoltzmann) {
@@ -103,13 +104,13 @@ TEST(ExactOracle, LevelProbabilitiesAreBoltzmann) {
   const auto comp = equiatomic_composition(lat.num_sites(), 2);
   const auto oracle = ExactOracle::enumerate(ham, lat, comp, no_cache());
 
-  const auto probs = oracle.level_probabilities(2.0);
+  const auto probs = oracle.level_probabilities(units::Temperature(2.0));
   ASSERT_EQ(probs.size(), oracle.levels().size());
   double sum = 0.0;
   for (const double p : probs) sum += p;
   EXPECT_NEAR(sum, 1.0, 1e-12);
   // As T -> 0 the ground level takes all the weight.
-  const auto cold = oracle.level_probabilities(0.05);
+  const auto cold = oracle.level_probabilities(units::Temperature(0.05));
   EXPECT_GT(cold.front(), 0.999);
 }
 
@@ -131,8 +132,8 @@ TEST(ExactOracle, MeanSroInterpolatesLevelAverages) {
     lo = std::min(lo, avg);
     hi = std::max(hi, avg);
   }
-  const double warm = oracle.mean_sro(50.0);
-  const double cold = oracle.mean_sro(0.05);
+  const double warm = oracle.mean_sro(units::Temperature(50.0));
+  const double cold = oracle.mean_sro(units::Temperature(0.05));
   EXPECT_GE(warm, lo);
   EXPECT_LE(warm, hi);
   const auto& ground = oracle.levels().front();
@@ -140,7 +141,7 @@ TEST(ExactOracle, MeanSroInterpolatesLevelAverages) {
 
   // Without with_sro the accessor must refuse.
   const auto plain = ExactOracle::enumerate(ham, lat, comp, no_cache());
-  EXPECT_THROW(plain.mean_sro(1.0), dt::Error);
+  EXPECT_THROW((void)plain.mean_sro(units::Temperature(1.0)), dt::Error);
 }
 
 TEST(ExactOracle, ToDosConservesTotalStates) {
@@ -152,7 +153,7 @@ TEST(ExactOracle, ToDosConservesTotalStates) {
   const auto dos = oracle.to_dos(grid);
   double total = 0.0;
   for (std::int32_t b = 0; b < grid.n_bins(); ++b)
-    if (dos.visited(b)) total += std::exp(dos.log_g(b));
+    if (dos.visited(b)) total += std::exp(dos.log_g(b).value());
   EXPECT_NEAR(total, oracle.total_states(), 1e-6 * oracle.total_states());
 
   // A grid that misses part of the spectrum must throw, not truncate.

@@ -41,13 +41,13 @@ TEST(WangLandau, RecoversExactDosOfEnumerableSystem) {
 
   ASSERT_TRUE(wl.run(prop, 100000));
   auto dos = wl.dos();
-  dos.normalize(exact.log_total_states());
+  dos.normalize(units::LogWeight(exact.log_total_states()));
 
   for (const auto& level : exact.levels()) {
     const std::int32_t bin = grid.bin(level.energy);
     ASSERT_TRUE(dos.visited(bin)) << "level " << level.energy
                                   << " unvisited";
-    EXPECT_NEAR(dos.log_g(bin), std::log(level.count), 0.25)
+    EXPECT_NEAR(dos.log_g(bin).value(), std::log(level.count), 0.25)
         << "level " << level.energy;
   }
 }
@@ -68,12 +68,12 @@ TEST(WangLandau, SeedIndependentWithinTolerance) {
     LocalSwapProposal prop(ham);
     ASSERT_TRUE(wl.run(prop, 100000));
     auto dos = wl.dos();
-    dos.normalize(exact.log_total_states());
+    dos.normalize(units::LogWeight(exact.log_total_states()));
     runs.push_back(std::move(dos));
   }
   for (const auto& level : exact.levels()) {
     const std::int32_t bin = runs[0].grid().bin(level.energy);
-    EXPECT_NEAR(runs[0].log_g(bin), runs[1].log_g(bin), 0.4);
+    EXPECT_NEAR(runs[0].log_g(bin).value(), runs[1].log_g(bin).value(), 0.4);
   }
 }
 
@@ -247,8 +247,8 @@ TEST(WangLandau, AdoptMovesWalker) {
 
   auto other = lattice::ordered_b2(lat, 2);
   const double e = ham.total_energy(other);
-  wl.adopt(other, e);
-  EXPECT_DOUBLE_EQ(wl.energy(), e);
+  wl.adopt(other, units::Energy(e));
+  EXPECT_DOUBLE_EQ(wl.energy().value(), e);
   EXPECT_EQ(wl.current_bin(), grid.bin(e));
   EXPECT_TRUE(wl.configuration() == other);
 }
